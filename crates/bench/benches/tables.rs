@@ -1,0 +1,136 @@
+//! One Criterion group per paper table/figure: times the cost of
+//! regenerating each artifact at quick lab scale (the artifact content
+//! itself is produced by `repro <table>`; these benches keep regeneration
+//! cost visible and exercised).
+//!
+//! Artifacts share a lazily-built quick-scale [`Lab`], so per-table numbers
+//! measure the table computation itself, not world generation or fitting.
+
+use cn_eval::experiments;
+use cn_eval::lab::Scenario;
+use cn_eval::{ExperimentConfig, Lab};
+use cn_trace::{DeviceType, EventType};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn lab() -> &'static Lab {
+    static LAB: OnceLock<Lab> = OnceLock::new();
+    LAB.get_or_init(|| {
+        let lab = Lab::new(ExperimentConfig::quick());
+        // Pre-build the shared artifacts so each bench times only itself.
+        lab.world();
+        for m in cn_fit::Method::ALL {
+            lab.models(m);
+            lab.synth(m, Scenario::One);
+            lab.synth(m, Scenario::Two);
+        }
+        lab.real(Scenario::One);
+        lab.real(Scenario::Two);
+        lab
+    })
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let lab = lab();
+    c.bench_function("table1_breakdown", |b| {
+        b.iter(|| black_box(experiments::table1(lab)))
+    });
+    c.bench_function("fig2_boxplots", |b| {
+        b.iter(|| {
+            black_box(experiments::fig2(
+                lab,
+                DeviceType::Phone,
+                EventType::ServiceRequest,
+            ))
+        })
+    });
+    c.bench_function("fig2_summary", |b| {
+        b.iter(|| black_box(experiments::fig2_summary(lab)))
+    });
+    c.bench_function("fig3_variance_time", |b| {
+        b.iter(|| black_box(experiments::fig3(lab, DeviceType::Phone)))
+    });
+    c.bench_function("fig4_cdf_ranges", |b| {
+        b.iter(|| black_box(experiments::fig4(lab, DeviceType::Phone)))
+    });
+    c.bench_function("table4_scenario2", |b| {
+        b.iter(|| black_box(experiments::table4(lab, Scenario::Two)))
+    });
+    c.bench_function("table11_scenario1", |b| {
+        b.iter(|| black_box(experiments::table4(lab, Scenario::One)))
+    });
+    c.bench_function("table5_max_y_distance", |b| {
+        b.iter(|| black_box(experiments::table5(lab)))
+    });
+    c.bench_function("table6_activity_split", |b| {
+        b.iter(|| black_box(experiments::table6(lab)))
+    });
+    c.bench_function("fig7_count_cdfs", |b| {
+        b.iter(|| black_box(experiments::fig7(lab, EventType::ServiceRequest)))
+    });
+}
+
+fn bench_suites(c: &mut Criterion) {
+    let lab = lab();
+    let mut group = c.benchmark_group("test_suites");
+    group.sample_size(10);
+    group.bench_function("table8_no_clustering", |b| {
+        b.iter(|| black_box(experiments::table8or9(lab, false)))
+    });
+    group.bench_function("table9_with_clustering", |b| {
+        b.iter(|| black_box(experiments::table8or9(lab, true)))
+    });
+    group.bench_function("table10_second_level", |b| {
+        b.iter(|| black_box(experiments::table10(lab)))
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let lab = lab();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("diurnal_fidelity", |b| {
+        b.iter(|| black_box(experiments::diurnal_fidelity(lab)))
+    });
+    group.bench_function("verdicts", |b| {
+        b.iter(|| black_box(cn_eval::verdicts::verdicts(lab)))
+    });
+    group.bench_function("holdout", |b| {
+        b.iter(|| {
+            black_box(cn_eval::generalize::holdout(
+                lab.world(),
+                lab.cfg.busy_hour,
+                lab.cfg.seed,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let lab = lab();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("exit_prob_ablation", |b| {
+        b.iter(|| black_box(cn_eval::ablation::ablation_exit_prob(lab)))
+    });
+    group.bench_function("persona_ablation", |b| {
+        b.iter(|| black_box(cn_eval::ablation::ablation_personas(lab)))
+    });
+    group.finish();
+}
+
+fn bench_fiveg(c: &mut Criterion) {
+    let lab = lab();
+    let mut group = c.benchmark_group("fiveg");
+    group.sample_size(10);
+    group.bench_function("table7_projection", |b| {
+        b.iter(|| black_box(experiments::table7(lab)))
+    });
+    group.finish();
+}
+
+criterion_group!(tables, bench_tables, bench_suites, bench_extensions, bench_ablations, bench_fiveg);
+criterion_main!(tables);

@@ -1,0 +1,56 @@
+//! The paper's UE-similarity features.
+//!
+//! §5.3: similarity is quantified on the two dominant event types,
+//! `SRV_REQ` and `S1_CONN_REL` (84.1%–93.0% of all control events), with
+//! two features per event type:
+//!
+//! 1. the number of control events of that type in the hour, and
+//! 2. the standard deviation of the sojourn time in the associated UE
+//!    state (`CONNECTED` for `SRV_REQ`, `IDLE` for `S1_CONN_REL`).
+//!
+//! Extraction from a trace (which requires state-machine replay) is done by
+//! `cn-fit::pipeline`; this module only fixes the feature order and names
+//! so clustering output is interpretable everywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of one clustering feature dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Unit of the raw value.
+    pub unit: &'static str,
+}
+
+/// The paper's four feature dimensions, in canonical order.
+pub const PAPER_FEATURES: [FeatureSpec; 4] = [
+    FeatureSpec { name: "srv_req_count", unit: "events/hour" },
+    FeatureSpec { name: "connected_sojourn_std", unit: "seconds" },
+    FeatureSpec { name: "s1_conn_rel_count", unit: "events/hour" },
+    FeatureSpec { name: "idle_sojourn_std", unit: "seconds" },
+];
+
+/// Index of the `SRV_REQ` count feature.
+pub const F_SRV_REQ_COUNT: usize = 0;
+/// Index of the CONNECTED sojourn std-dev feature.
+pub const F_CONN_STD: usize = 1;
+/// Index of the `S1_CONN_REL` count feature.
+pub const F_S1_REL_COUNT: usize = 2;
+/// Index of the IDLE sojourn std-dev feature.
+pub const F_IDLE_STD: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_features_with_unique_names() {
+        let mut names: Vec<&str> = PAPER_FEATURES.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert_eq!(PAPER_FEATURES[F_SRV_REQ_COUNT].name, "srv_req_count");
+        assert_eq!(PAPER_FEATURES[F_IDLE_STD].name, "idle_sojourn_std");
+    }
+}

@@ -1,0 +1,25 @@
+//! Adaptive quadtree clustering of UEs (§5.3 of the paper).
+//!
+//! Control-plane traffic is highly diverse and skewed across UEs, so a
+//! single model per (hour, device-type) fails, while one model per UE has
+//! too little data. The paper's answer is an *adaptive clustering scheme*:
+//! recursively partition the UE feature space until every cluster either
+//! (a) contains UEs whose features all lie within a similarity threshold
+//! `θ_f` of each other, or (b) is smaller than a size threshold `θ_n`.
+//! Each recursion step cuts the current feature box into equal-sized
+//! sub-boxes — a quadtree when two dimensions are cut at a time, which is
+//! the paper's configuration (two features per dominant event type).
+//!
+//! This crate is purely geometric: callers supply one feature vector per UE
+//! (see [`feature`] for the paper's feature definitions; extraction from
+//! traces lives in `cn-fit`), and receive a [`Clustering`] assigning every
+//! UE to exactly one cluster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod feature;
+pub mod quadtree;
+
+pub use feature::{FeatureSpec, PAPER_FEATURES};
+pub use quadtree::{cluster, ClusterId, ClusterInfo, Clustering, ClusteringParams};

@@ -1,0 +1,147 @@
+//! Volume time-series fidelity between two traces.
+//!
+//! The paper's macroscopic metric compares event *shares*; this module
+//! compares event *rates over time* — does the synthesized trace rise and
+//! fall with the real one at a given resolution? Used by the diurnal
+//! extension and available for finer (e.g. 5-minute) comparisons.
+
+use cn_trace::series::count_series;
+use cn_trace::{Timestamp, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Comparison of two aligned count series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesFidelity {
+    /// Pearson correlation of the two series (0 when either is constant).
+    pub correlation: f64,
+    /// Root-mean-square error between per-window counts.
+    pub rmse: f64,
+    /// RMSE normalized by the reference mean (∞-safe: 0 when the
+    /// reference is empty).
+    pub nrmse: f64,
+    /// Number of windows compared.
+    pub windows: usize,
+}
+
+/// Pearson correlation of two equal-length slices.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb).powi(2)).sum();
+    if va > 0.0 && vb > 0.0 {
+        cov / (va.sqrt() * vb.sqrt())
+    } else {
+        0.0
+    }
+}
+
+/// Compare the event volumes of `reference` and `candidate` over
+/// `[start, end)` in windows of `window_ms`.
+///
+/// Returns `None` for degenerate ranges/windows.
+pub fn series_fidelity(
+    reference: &Trace,
+    candidate: &Trace,
+    start: Timestamp,
+    end: Timestamp,
+    window_ms: u64,
+) -> Option<SeriesFidelity> {
+    let a = count_series(reference, start, end, window_ms);
+    let b = count_series(candidate, start, end, window_ms);
+    if a.is_empty() || a.len() != b.len() {
+        return None;
+    }
+    let af: Vec<f64> = a.iter().map(|&c| f64::from(c)).collect();
+    let bf: Vec<f64> = b.iter().map(|&c| f64::from(c)).collect();
+    let n = af.len() as f64;
+    let mse: f64 = af.iter().zip(&bf).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / n;
+    let rmse = mse.sqrt();
+    let ref_mean = af.iter().sum::<f64>() / n;
+    Some(SeriesFidelity {
+        correlation: pearson(&af, &bf),
+        rmse,
+        nrmse: if ref_mean > 0.0 { rmse / ref_mean } else { 0.0 },
+        windows: af.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_trace::{DeviceType, EventType, TraceRecord, UeId};
+
+    fn burst(at_ms: u64, n: u64, ue: u32) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| {
+                TraceRecord::new(
+                    Timestamp::from_millis(at_ms + i),
+                    UeId(ue),
+                    DeviceType::Phone,
+                    EventType::Tau,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_traces_are_perfect() {
+        let mut recs = burst(0, 10, 0);
+        recs.extend(burst(60_000, 30, 1));
+        let t = Trace::from_records(recs);
+        let f = series_fidelity(
+            &t,
+            &t,
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(120_000),
+            10_000,
+        )
+        .unwrap();
+        assert!((f.correlation - 1.0).abs() < 1e-12);
+        assert_eq!(f.rmse, 0.0);
+        assert_eq!(f.windows, 12);
+    }
+
+    #[test]
+    fn anti_phased_traces_anticorrelate() {
+        let a = Trace::from_records(burst(0, 50, 0));
+        let b = Trace::from_records(burst(30_000, 50, 0));
+        let f = series_fidelity(
+            &a,
+            &b,
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(60_000),
+            10_000,
+        )
+        .unwrap();
+        assert!(f.correlation < 0.0, "corr {}", f.correlation);
+        assert!(f.rmse > 0.0);
+    }
+
+    #[test]
+    fn degenerate_ranges_are_none() {
+        let t = Trace::from_records(burst(0, 5, 0));
+        assert!(series_fidelity(
+            &t,
+            &t,
+            Timestamp::from_millis(10),
+            Timestamp::from_millis(10),
+            1_000
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0); // constant side
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! The paper's method matrix (Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Which state machine a method drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StateMachineKind {
+    /// The merged top-level EMM–ECM machine only; `HO`/`TAU` are modeled as
+    /// independent inter-arrival processes overlaid on the UE (and thus can
+    /// fire in the wrong ECM state).
+    EmmEcm,
+    /// The full two-level hierarchical machine of Fig. 5.
+    TwoLevel,
+}
+
+/// How sojourn/inter-arrival laws are modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionKind {
+    /// MLE-fitted exponential (Poisson process).
+    Poisson,
+    /// The empirical CDF of the observed samples (the paper's choice).
+    EmpiricalCdf,
+}
+
+/// A modeling method from the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// EMM–ECM machine + Poisson, no clustering.
+    Base,
+    /// EMM–ECM machine + Poisson, with clustering.
+    B1,
+    /// Two-level machine + Poisson, with clustering.
+    B2,
+    /// Two-level machine + empirical CDFs, with clustering (the paper's
+    /// proposed model).
+    Ours,
+}
+
+impl Method {
+    /// All four methods in Table 3 column order.
+    pub const ALL: [Method; 4] = [Method::Base, Method::B1, Method::B2, Method::Ours];
+
+    /// The state machine the method uses.
+    pub fn machine(self) -> StateMachineKind {
+        match self {
+            Method::Base | Method::B1 => StateMachineKind::EmmEcm,
+            Method::B2 | Method::Ours => StateMachineKind::TwoLevel,
+        }
+    }
+
+    /// The sojourn-law family the method fits.
+    pub fn distribution(self) -> DistributionKind {
+        match self {
+            Method::Base | Method::B1 | Method::B2 => DistributionKind::Poisson,
+            Method::Ours => DistributionKind::EmpiricalCdf,
+        }
+    }
+
+    /// Whether the method clusters UEs.
+    pub fn clustered(self) -> bool {
+        !matches!(self, Method::Base)
+    }
+
+    /// Table 3 display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Base => "Base",
+            Method::B1 => "B1",
+            Method::B2 => "B2",
+            Method::Ours => "Ours",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matrix() {
+        use DistributionKind::*;
+        use StateMachineKind::*;
+        assert_eq!(Method::Base.machine(), EmmEcm);
+        assert_eq!(Method::B1.machine(), EmmEcm);
+        assert_eq!(Method::B2.machine(), TwoLevel);
+        assert_eq!(Method::Ours.machine(), TwoLevel);
+        assert_eq!(Method::Base.distribution(), Poisson);
+        assert_eq!(Method::B1.distribution(), Poisson);
+        assert_eq!(Method::B2.distribution(), Poisson);
+        assert_eq!(Method::Ours.distribution(), EmpiricalCdf);
+        assert!(!Method::Base.clustered());
+        assert!(Method::B1.clustered());
+        assert!(Method::B2.clustered());
+        assert!(Method::Ours.clustered());
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based tests: fitted models are structurally sound for any
+//! world the simulator can produce.
+
+use cn_fit::{fit, inspect, FitConfig, Method};
+use cn_trace::PopulationMix;
+use cn_world::{generate_world, WorldConfig};
+use proptest::prelude::*;
+
+fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
+    (1u32..25, 0u32..12, 0u32..8, 1u64..1_000, 1u32..49).prop_map(
+        |(phones, cars, tablets, seed, hours)| {
+            WorldConfig::new(
+                PopulationMix::new(phones, cars, tablets),
+                f64::from(hours) / 24.0,
+                seed,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every method's fit passes the structural verifier: normalized
+    /// branch probabilities, exit probabilities in [0, 1], no dangling
+    /// personas, machine-kind consistency.
+    #[test]
+    fn fits_verify_clean(config in arb_world_config(), midx in 0usize..4) {
+        let world = generate_world(&config);
+        let method = Method::ALL[midx];
+        let set = fit(&world, &FitConfig::new(method));
+        let defects = inspect::verify(&set);
+        prop_assert!(defects.is_empty(), "{:?}", defects.first());
+        prop_assert!(inspect::machine_consistent(&set));
+    }
+
+    /// Fitting is deterministic.
+    #[test]
+    fn fitting_is_deterministic(config in arb_world_config()) {
+        let world = generate_world(&config);
+        let a = fit(&world, &FitConfig::new(Method::Ours));
+        let b = fit(&world, &FitConfig::new(Method::Ours));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Model snapshots survive JSON round trips for arbitrary worlds.
+    #[test]
+    fn snapshots_round_trip(config in arb_world_config()) {
+        let world = generate_world(&config);
+        let set = fit(&world, &FitConfig::new(Method::Ours));
+        let json = set.to_json().unwrap();
+        let back = cn_fit::ModelSet::from_json(&json).unwrap();
+        prop_assert_eq!(set, back);
+    }
+}

@@ -1,0 +1,35 @@
+//! Control-plane trace synthesis (§7 of the paper).
+//!
+//! To synthesize a trace for `K` UEs starting at hour `H`, the engine runs
+//! `K` independent per-UE generators. Each generator:
+//!
+//! 1. samples a **persona** — a modeled UE's per-hour cluster trajectory —
+//!    so generators are distributed over clusters exactly like the modeled
+//!    population;
+//! 2. bootstraps from the **first-event model** of its cluster at hour `H`
+//!    (trying successive hours while the model says the UE is silent);
+//! 3. then drives the per-hour state machine with **two concurrent
+//!    timers**: the top-level (EMM–ECM) timer and the second-level timer.
+//!    Whenever the top level transitions, the bottom level drops its
+//!    pending event, resets its timer, and restarts in the sub-machine of
+//!    the new top state — exactly the paper's §7 semantics. For the
+//!    EMM–ECM baseline methods the second level is replaced by overlaid
+//!    `HO`/`TAU` inter-arrival processes, which is what makes those
+//!    methods emit handovers in ECM-IDLE (the artifact Tables 4/11
+//!    quantify).
+//!
+//! Sojourn times are sampled from the model of the hour in which the state
+//! was entered; a state with no observed departures in that hour retries
+//! with each subsequent hour's model. Per-UE event times are strictly
+//! increasing; UE streams are merged into one sorted population trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod per_ue;
+pub mod stream;
+
+pub use engine::{generate, GenConfig, HourSemantics};
+pub use per_ue::{generate_ue, UeEventIter};
+pub use stream::PopulationStream;

@@ -1,0 +1,75 @@
+//! Property-based tests: generated traffic is conformant and streaming is
+//! exactly batch, for arbitrary seeds and window placements.
+
+use cn_fit::{fit, FitConfig, Method, ModelSet};
+use cn_gen::{generate, GenConfig, PopulationStream};
+use cn_statemachine::replay_ue;
+use cn_trace::{PopulationMix, Timestamp, Trace};
+use cn_world::{generate_world, WorldConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn models(method: Method) -> &'static ModelSet {
+    static OURS: OnceLock<ModelSet> = OnceLock::new();
+    static BASE: OnceLock<ModelSet> = OnceLock::new();
+    let build = |m: Method| {
+        let world = generate_world(&WorldConfig::new(PopulationMix::new(35, 15, 10), 2.0, 91));
+        fit(&world, &FitConfig::new(m))
+    };
+    match method {
+        Method::Ours => OURS.get_or_init(|| build(Method::Ours)),
+        _ => BASE.get_or_init(|| build(Method::Base)),
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = GenConfig> {
+    (1u32..20, 0u32..8, 0u32..6, 0u8..24, 1u8..6, 0u64..10_000).prop_map(
+        |(p, c, t, hour, hours, seed)| {
+            GenConfig::new(
+                PopulationMix::new(p, c, t),
+                Timestamp::at_hour(0, hour),
+                f64::from(hours),
+                seed,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two-level output replays with zero violations for any window/seed.
+    #[test]
+    fn ours_is_always_conformant(config in arb_config()) {
+        let trace = generate(models(Method::Ours), &config);
+        for (_, events) in trace.per_ue().iter() {
+            let out = replay_ue(events);
+            prop_assert!(out.is_conformant(), "{:?}", out.violations.first());
+        }
+    }
+
+    /// The streaming generator is the batch generator, event for event.
+    #[test]
+    fn stream_matches_batch(config in arb_config()) {
+        let set = models(Method::Ours);
+        let batch = generate(set, &config);
+        let streamed: Trace = PopulationStream::new(set, &config).collect();
+        prop_assert_eq!(batch, streamed);
+    }
+
+    /// All events respect the window and the device layout, for both
+    /// machine kinds.
+    #[test]
+    fn events_respect_window_and_layout(config in arb_config(), use_base in any::<bool>()) {
+        let method = if use_base { Method::Base } else { Method::Ours };
+        let trace = generate(models(method), &config);
+        for r in trace.iter() {
+            prop_assert!(r.t >= config.start && r.t < config.end());
+            prop_assert_eq!(r.device, config.device_of(r.ue.get()));
+        }
+        // Per-UE strict time order.
+        for (_, events) in trace.per_ue().iter() {
+            prop_assert!(events.windows(2).all(|w| w[0].t < w[1].t));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! A multi-worker FIFO queueing model for control-plane processing.
+//!
+//! Events arrive at their trace timestamps and are served FIFO by `c`
+//! identical workers with per-event-type deterministic service times (an
+//! M(t)/D/c-style model where the arrival process is whatever the trace
+//! says — that is the point of realistic trace generation). Reports
+//! latency percentiles, worker utilization, and backlog.
+
+use cn_stats::summary::percentile_sorted;
+use cn_trace::{EventType, Trace};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-event-type service times, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Service time per event type, µs, indexed by [`EventType::code`].
+    pub service_us: [f64; 6],
+}
+
+impl ServiceProfile {
+    /// A plausible default: attach/detach are heavyweight (HSS, session
+    /// setup), service request / release moderate, HO/TAU lighter.
+    pub fn default_mme() -> ServiceProfile {
+        ServiceProfile {
+            // ATCH, DTCH, SRV_REQ, S1_CONN_REL, HO, TAU
+            service_us: [2_000.0, 800.0, 400.0, 250.0, 300.0, 200.0],
+        }
+    }
+
+    /// Uniform service time for all event types.
+    pub fn uniform(us: f64) -> ServiceProfile {
+        ServiceProfile { service_us: [us; 6] }
+    }
+
+    /// Service time of one event, µs.
+    pub fn of(&self, event: EventType) -> f64 {
+        self.service_us[event.code() as usize]
+    }
+}
+
+/// Queueing simulation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueReport {
+    /// Events served.
+    pub served: u64,
+    /// Mean sojourn (wait + service) per event, ms.
+    pub mean_latency_ms: f64,
+    /// Median sojourn, ms.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile sojourn, ms.
+    pub p99_latency_ms: f64,
+    /// Maximum sojourn, ms.
+    pub max_latency_ms: f64,
+    /// Fraction of total worker time spent busy.
+    pub utilization: f64,
+    /// Largest queue length observed at an arrival instant.
+    pub peak_backlog: usize,
+}
+
+/// The queueing simulator.
+#[derive(Debug, Clone)]
+pub struct QueueSim {
+    profile: ServiceProfile,
+    workers: usize,
+}
+
+impl QueueSim {
+    /// Create with a service profile and `workers ≥ 1` parallel servers.
+    pub fn new(profile: ServiceProfile, workers: usize) -> QueueSim {
+        QueueSim { profile, workers: workers.max(1) }
+    }
+
+    /// Run the trace through the queue. Returns `None` for an empty trace.
+    pub fn run(&self, trace: &Trace) -> Option<QueueReport> {
+        if trace.is_empty() {
+            return None;
+        }
+        // Min-heap of worker-free times (µs).
+        let mut free: BinaryHeap<Reverse<u64>> =
+            (0..self.workers).map(|_| Reverse(0u64)).collect();
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(trace.len());
+        let mut busy_us: f64 = 0.0;
+        let mut peak_backlog = 0usize;
+        // Completion times of in-flight/queued events, to measure backlog.
+        let mut completions: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+
+        let t0_us = trace.start()?.as_millis() * 1_000;
+        for rec in trace.iter() {
+            let arrival_us = rec.t.as_millis() * 1_000;
+            // Backlog = events not yet finished at this arrival.
+            while completions.peek().is_some_and(|Reverse(c)| *c <= arrival_us) {
+                completions.pop();
+            }
+            peak_backlog = peak_backlog.max(completions.len());
+
+            let Reverse(worker_free) = free.pop().expect("workers > 0");
+            let start_us = worker_free.max(arrival_us);
+            let service = self.profile.of(rec.event);
+            let done_us = start_us + service.round() as u64;
+            free.push(Reverse(done_us));
+            completions.push(Reverse(done_us));
+            busy_us += service;
+            latencies_ms.push((done_us - arrival_us) as f64 / 1_000.0);
+        }
+
+        let horizon_us = free
+            .iter()
+            .map(|Reverse(t)| *t)
+            .max()
+            .unwrap_or(t0_us)
+            .saturating_sub(t0_us)
+            .max(1);
+        let mut sorted = latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Some(QueueReport {
+            served: trace.len() as u64,
+            mean_latency_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64,
+            p50_latency_ms: percentile_sorted(&sorted, 0.50),
+            p99_latency_ms: percentile_sorted(&sorted, 0.99),
+            max_latency_ms: *sorted.last().expect("non-empty"),
+            utilization: busy_us / (horizon_us as f64 * self.workers as f64),
+            peak_backlog,
+        })
+    }
+}
+
+/// Per-interface service times for message-level simulation, µs.
+///
+/// Diameter transactions (S6a/Gx) are typically slower than GTP-C and
+/// S1AP processing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageServiceProfile {
+    /// Service time per interface, µs, in [`crate::messages::Interface::ALL`]
+    /// order (S1, S6a, S11, S5, Gx).
+    pub service_us: [f64; 5],
+}
+
+impl MessageServiceProfile {
+    /// A plausible default.
+    pub fn default_epc() -> MessageServiceProfile {
+        MessageServiceProfile { service_us: [80.0, 400.0, 120.0, 120.0, 350.0] }
+    }
+}
+
+impl QueueSim {
+    /// Run a *message-level* queueing simulation: each 3GPP signaling
+    /// message of the expanded trace is served individually with
+    /// per-interface service times (compare with [`QueueSim::run`], which
+    /// treats a whole procedure as one unit of work).
+    pub fn run_messages<I>(
+        &self,
+        messages: I,
+        profile: &MessageServiceProfile,
+    ) -> Option<QueueReport>
+    where
+        I: IntoIterator<Item = crate::messages::MessageRecord>,
+    {
+        let mut free: BinaryHeap<Reverse<u64>> =
+            (0..self.workers).map(|_| Reverse(0u64)).collect();
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut busy_us: f64 = 0.0;
+        let mut peak_backlog = 0usize;
+        let mut completions: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        let mut t0_us: Option<u64> = None;
+
+        for rec in messages {
+            let arrival_us = rec.t.as_millis() * 1_000;
+            t0_us.get_or_insert(arrival_us);
+            while completions.peek().is_some_and(|Reverse(c)| *c <= arrival_us) {
+                completions.pop();
+            }
+            peak_backlog = peak_backlog.max(completions.len());
+
+            let Reverse(worker_free) = free.pop().expect("workers > 0");
+            let start_us = worker_free.max(arrival_us);
+            let iface_idx = crate::messages::Interface::ALL
+                .iter()
+                .position(|&i| i == rec.message.interface)
+                .expect("known interface");
+            let service = profile.service_us[iface_idx];
+            let done_us = start_us + service.round() as u64;
+            free.push(Reverse(done_us));
+            completions.push(Reverse(done_us));
+            busy_us += service;
+            latencies_ms.push((done_us - arrival_us) as f64 / 1_000.0);
+        }
+        if latencies_ms.is_empty() {
+            return None;
+        }
+        let t0_us = t0_us.expect("non-empty");
+        let horizon_us = free
+            .iter()
+            .map(|Reverse(t)| *t)
+            .max()
+            .unwrap_or(t0_us)
+            .saturating_sub(t0_us)
+            .max(1);
+        let mut sorted = latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Some(QueueReport {
+            served: latencies_ms.len() as u64,
+            mean_latency_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64,
+            p50_latency_ms: percentile_sorted(&sorted, 0.50),
+            p99_latency_ms: percentile_sorted(&sorted, 0.99),
+            max_latency_ms: *sorted.last().expect("non-empty"),
+            utilization: busy_us / (horizon_us as f64 * self.workers as f64),
+            peak_backlog,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_trace::{DeviceType, Timestamp, TraceRecord, UeId};
+
+    fn rec(t_ms: u64, e: EventType) -> TraceRecord {
+        TraceRecord::new(Timestamp::from_millis(t_ms), UeId(0), DeviceType::Phone, e)
+    }
+
+    #[test]
+    fn empty_trace_is_none() {
+        let sim = QueueSim::new(ServiceProfile::uniform(100.0), 1);
+        assert!(sim.run(&Trace::new()).is_none());
+    }
+
+    #[test]
+    fn unloaded_queue_has_pure_service_latency() {
+        // Events 1 s apart, 1 ms service: no queueing at all.
+        let trace = Trace::from_records(
+            (0..10).map(|i| rec(i * 1_000, EventType::Tau)).collect(),
+        );
+        let report = QueueSim::new(ServiceProfile::uniform(1_000.0), 1)
+            .run(&trace)
+            .unwrap();
+        assert_eq!(report.served, 10);
+        assert!((report.mean_latency_ms - 1.0).abs() < 1e-9, "{}", report.mean_latency_ms);
+        assert_eq!(report.peak_backlog, 0);
+        assert!(report.utilization < 0.01);
+    }
+
+    #[test]
+    fn overloaded_queue_builds_latency() {
+        // 100 simultaneous events, 10 ms service each, 1 worker: the last
+        // one waits ~990 ms.
+        let trace =
+            Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
+        let report = QueueSim::new(ServiceProfile::uniform(10_000.0), 1)
+            .run(&trace)
+            .unwrap();
+        assert!((report.max_latency_ms - 1_000.0).abs() < 1.0, "{}", report.max_latency_ms);
+        assert!(report.peak_backlog > 50);
+        assert!(report.utilization > 0.99);
+    }
+
+    #[test]
+    fn more_workers_cut_latency() {
+        let trace =
+            Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
+        let one = QueueSim::new(ServiceProfile::uniform(10_000.0), 1)
+            .run(&trace)
+            .unwrap();
+        let four = QueueSim::new(ServiceProfile::uniform(10_000.0), 4)
+            .run(&trace)
+            .unwrap();
+        assert!(four.max_latency_ms < one.max_latency_ms / 3.0);
+    }
+
+    #[test]
+    fn message_level_simulation_counts_every_message() {
+        use crate::messages;
+        let trace = Trace::from_records(vec![
+            rec(0, EventType::Attach),
+            rec(60_000, EventType::ServiceRequest),
+        ]);
+        let sim = QueueSim::new(ServiceProfile::default_mme(), 2);
+        let report = sim
+            .run_messages(messages::expand(&trace), &MessageServiceProfile::default_epc())
+            .unwrap();
+        assert_eq!(report.served, 19 + 5);
+        assert!(report.mean_latency_ms > 0.0);
+        // Empty stream → None.
+        assert!(sim
+            .run_messages(std::iter::empty(), &MessageServiceProfile::default_epc())
+            .is_none());
+    }
+
+    #[test]
+    fn heavier_events_cost_more() {
+        let profile = ServiceProfile::default_mme();
+        assert!(profile.of(EventType::Attach) > profile.of(EventType::Tau));
+    }
+}

@@ -1,0 +1,86 @@
+//! The EPS Connection Management (ECM) state machine (Fig. 1b).
+//!
+//! ECM tracks the signaling connectivity between a *registered* UE and the
+//! MCN: `SRV_REQ` moves IDLE → CONNECTED, `S1_CONN_REL` moves back.
+
+use cn_trace::EventType;
+use serde::{Deserialize, Serialize};
+
+/// ECM connection state (defined only while the UE is EMM-REGISTERED).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EcmState {
+    /// `ECM_CONNECTED` — a signaling connection exists.
+    Connected,
+    /// `ECM_IDLE` — no signaling connection.
+    Idle,
+}
+
+impl EcmState {
+    /// Apply a control event. Returns the next state, or `None` if the
+    /// event is illegal in this state under the plain ECM machine
+    /// (in which `HO` requires CONNECTED and `TAU` is legal in both states).
+    pub fn apply(self, event: EventType) -> Option<EcmState> {
+        match (self, event) {
+            (EcmState::Idle, EventType::ServiceRequest) => Some(EcmState::Connected),
+            (EcmState::Connected, EventType::S1ConnRelease) => Some(EcmState::Idle),
+            (EcmState::Connected, EventType::ServiceRequest) => None,
+            (EcmState::Idle, EventType::S1ConnRelease) => None,
+            (EcmState::Connected, EventType::Handover) => Some(EcmState::Connected),
+            (EcmState::Idle, EventType::Handover) => None,
+            (_, EventType::Tau) => Some(self),
+            // ATCH/DTCH are EMM events; the ECM machine is indifferent.
+            (_, EventType::Attach) | (_, EventType::Detach) => Some(self),
+        }
+    }
+
+    /// Paper label (`CONNECTED` / `IDLE`).
+    pub fn label(self) -> &'static str {
+        match self {
+            EcmState::Connected => "CONNECTED",
+            EcmState::Idle => "IDLE",
+        }
+    }
+}
+
+impl std::fmt::Display for EcmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_release_cycle() {
+        let s = EcmState::Idle.apply(EventType::ServiceRequest).unwrap();
+        assert_eq!(s, EcmState::Connected);
+        let s = s.apply(EventType::S1ConnRelease).unwrap();
+        assert_eq!(s, EcmState::Idle);
+    }
+
+    #[test]
+    fn handover_requires_connected() {
+        assert!(EcmState::Idle.apply(EventType::Handover).is_none());
+        assert_eq!(
+            EcmState::Connected.apply(EventType::Handover),
+            Some(EcmState::Connected)
+        );
+    }
+
+    #[test]
+    fn tau_legal_in_both() {
+        assert_eq!(EcmState::Idle.apply(EventType::Tau), Some(EcmState::Idle));
+        assert_eq!(
+            EcmState::Connected.apply(EventType::Tau),
+            Some(EcmState::Connected)
+        );
+    }
+
+    #[test]
+    fn double_service_request_is_illegal() {
+        assert!(EcmState::Connected.apply(EventType::ServiceRequest).is_none());
+        assert!(EcmState::Idle.apply(EventType::S1ConnRelease).is_none());
+    }
+}

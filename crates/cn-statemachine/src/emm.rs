@@ -1,0 +1,83 @@
+//! The EPS Mobility Management (EMM) state machine (Fig. 1a).
+//!
+//! EMM tracks the UE's registration with the mobile core network:
+//! `ATCH` moves DEREGISTERED → REGISTERED, `DTCH` moves back.
+
+use cn_trace::EventType;
+use serde::{Deserialize, Serialize};
+
+/// EMM registration state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmmState {
+    /// `EMM_DEREGISTERED` — the UE is not registered with the MCN.
+    Deregistered,
+    /// `EMM_REGISTERED` — the UE is registered with the MCN.
+    Registered,
+}
+
+impl EmmState {
+    /// Apply a control event. Returns the next state, or `None` if the
+    /// event is not a legal EMM transition from this state (events that are
+    /// not EMM-relevant — everything except ATCH/DTCH — leave the state
+    /// unchanged).
+    pub fn apply(self, event: EventType) -> Option<EmmState> {
+        match (self, event) {
+            (EmmState::Deregistered, EventType::Attach) => Some(EmmState::Registered),
+            (EmmState::Registered, EventType::Detach) => Some(EmmState::Deregistered),
+            (EmmState::Deregistered, EventType::Detach) => None,
+            (EmmState::Registered, EventType::Attach) => None,
+            // Non-EMM events require registration (a deregistered UE emits
+            // nothing else).
+            (EmmState::Registered, _) => Some(EmmState::Registered),
+            (EmmState::Deregistered, _) => None,
+        }
+    }
+
+    /// Paper label (`DEREGISTERED` / `REGISTERED`).
+    pub fn label(self) -> &'static str {
+        match self {
+            EmmState::Deregistered => "DEREGISTERED",
+            EmmState::Registered => "REGISTERED",
+        }
+    }
+}
+
+impl std::fmt::Display for EmmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_detach_cycle() {
+        let s = EmmState::Deregistered;
+        let s = s.apply(EventType::Attach).unwrap();
+        assert_eq!(s, EmmState::Registered);
+        let s = s.apply(EventType::Detach).unwrap();
+        assert_eq!(s, EmmState::Deregistered);
+    }
+
+    #[test]
+    fn double_attach_is_illegal() {
+        let s = EmmState::Deregistered.apply(EventType::Attach).unwrap();
+        assert!(s.apply(EventType::Attach).is_none());
+    }
+
+    #[test]
+    fn detach_when_deregistered_is_illegal() {
+        assert!(EmmState::Deregistered.apply(EventType::Detach).is_none());
+    }
+
+    #[test]
+    fn other_events_require_registration() {
+        assert!(EmmState::Deregistered.apply(EventType::Handover).is_none());
+        assert_eq!(
+            EmmState::Registered.apply(EventType::Tau),
+            Some(EmmState::Registered)
+        );
+    }
+}

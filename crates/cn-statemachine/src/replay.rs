@@ -1,0 +1,413 @@
+//! Replay a per-UE event stream through the two-level machine.
+//!
+//! Replay serves three purposes in the pipeline:
+//!
+//! 1. **Sojourn extraction** (§4.1.1, §5.2): walking the trace through the
+//!    machine yields, for every legal transition taken, the time spent in
+//!    the outbound state — the samples from which the Semi-Markov model's
+//!    per-transition CDFs and transition probabilities are estimated.
+//! 2. **Protocol conformance**: illegal `(state, event)` pairs are reported
+//!    as [`Violation`]s. Traces produced by our own two-level generator
+//!    must replay violation-free; traces from the EMM–ECM baselines
+//!    generally do not (e.g. `HO` in IDLE), which is exactly what Tables
+//!    4/11 measure.
+//! 3. **Context attribution**: every event is labeled with the top-level
+//!    state it fired in, so evaluation can split `HO`/`TAU` into their
+//!    CONNECTED/IDLE contexts.
+//!
+//! Replay is *lenient*: a violating event is recorded and the machine is
+//! forced into the state the event would normally lead to
+//! ([`TlState::after_event`]), so one bad event does not cascade. No
+//! sojourn samples are emitted for forced moves. Because a trace usually
+//! starts mid-stream, the initial state is inferred from the first event
+//! and no sojourn is emitted for it (its entry time is unknown).
+
+use crate::emm_ecm::{TopState, TopTransition};
+use crate::two_level::{BottomTransition, TlState};
+use cn_trace::{EventType, Timestamp, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// A maximal interval a UE spends in one flattened state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The flattened two-level state.
+    pub state: TlState,
+    /// When the state was entered (`None` for the inferred initial state).
+    pub enter: Option<Timestamp>,
+    /// When the state was left (`None` if the trace ends in this state).
+    pub exit: Option<Timestamp>,
+    /// The event that ended the segment, if any.
+    pub out_event: Option<EventType>,
+}
+
+/// A sojourn-time observation for one transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SojournSample<T> {
+    /// Which transition was taken.
+    pub transition: T,
+    /// When the outbound state was entered (start of the sojourn).
+    pub enter: Timestamp,
+    /// Time spent in the outbound state, in milliseconds.
+    pub duration_ms: u64,
+}
+
+/// An event that was illegal in the state it fired in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Index of the event within the replayed slice.
+    pub index: usize,
+    /// The state the machine was in.
+    pub state: TlState,
+    /// The offending event.
+    pub event: EventType,
+    /// When it fired.
+    pub t: Timestamp,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event #{}: {} illegal in {} at {}", self.index, self.event, self.state, self.t)
+    }
+}
+
+/// Everything replay learns from one UE's event stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// State segments in time order.
+    pub segments: Vec<Segment>,
+    /// Sojourn observations for top-level (EMM–ECM) transitions.
+    pub top_sojourns: Vec<SojournSample<TopTransition>>,
+    /// Sojourn observations for second-level transitions.
+    pub bottom_sojourns: Vec<SojournSample<BottomTransition>>,
+    /// Protocol violations encountered (empty for conformant traces).
+    pub violations: Vec<Violation>,
+    /// For every input event, the top-level state it fired in.
+    pub event_context: Vec<TopState>,
+    /// Bottom-state visits that ended *without* a second-level transition
+    /// (the residence was cut short by a top-level move). These censored
+    /// visits are what lets the Semi-Markov fit estimate the probability
+    /// that a state visit produces no Category-2 event at all — without
+    /// them, a generator would arm an HO/TAU timer on every visit and
+    /// flood the trace with Category-2 events.
+    pub bottom_censored: Vec<(TlState, Timestamp)>,
+}
+
+impl Default for Segment {
+    fn default() -> Self {
+        Segment { state: TlState::Deregistered, enter: None, exit: None, out_event: None }
+    }
+}
+
+impl ReplayOutcome {
+    /// True when the stream replayed with no protocol violations.
+    pub fn is_conformant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Infer the state a UE must have been in *before* its first event.
+fn initial_state_for(first: EventType) -> TlState {
+    use crate::two_level::{ConnSub, IdleSub};
+    match first {
+        EventType::Attach => TlState::Deregistered,
+        // A detach, service request, or TAU arriving first most plausibly
+        // finds the UE idle; a release or handover requires CONNECTED.
+        EventType::Detach | EventType::ServiceRequest | EventType::Tau => {
+            TlState::Idle(IdleSub::S1RelS1)
+        }
+        EventType::S1ConnRelease | EventType::Handover => TlState::Connected(ConnSub::SrvReqS),
+    }
+}
+
+/// Replay one UE's time-sorted events through the two-level machine.
+///
+/// ```
+/// use cn_statemachine::replay_ue;
+/// use cn_trace::{DeviceType, EventType, Timestamp, TraceRecord, UeId};
+/// let rec = |t, e| TraceRecord::new(Timestamp::from_secs(t), UeId(0), DeviceType::Phone, e);
+/// let events = [
+///     rec(0, EventType::Attach),
+///     rec(30, EventType::S1ConnRelease),
+///     rec(90, EventType::ServiceRequest),
+/// ];
+/// let out = replay_ue(&events);
+/// assert!(out.is_conformant());
+/// assert_eq!(out.top_sojourns[0].duration_ms, 30_000); // CONNECTED for 30 s
+/// assert_eq!(out.top_sojourns[1].duration_ms, 60_000); // IDLE for 60 s
+/// ```
+pub fn replay_ue(events: &[TraceRecord]) -> ReplayOutcome {
+    let mut out = ReplayOutcome::default();
+    let Some(first) = events.first() else {
+        return out;
+    };
+    let mut state = initial_state_for(first.event);
+    // Entry times are unknown until the first transition into a state.
+    let mut top_enter: Option<Timestamp> = None;
+    let mut sub_enter: Option<Timestamp> = None;
+    let mut seg = Segment { state, enter: None, exit: None, out_event: None };
+
+    for (index, rec) in events.iter().enumerate() {
+        let (event, t) = (rec.event, rec.t);
+        out.event_context.push(state.top());
+        let next = match state.apply(event) {
+            Some(next) => {
+                // Emit sojourn samples for legal moves with known entry time.
+                if next.top() != state.top() {
+                    if let (Some(enter), Some(tr)) =
+                        (top_enter, TopTransition::lookup(state.top(), event))
+                    {
+                        out.top_sojourns.push(SojournSample {
+                            transition: tr,
+                            enter,
+                            duration_ms: t.since(enter),
+                        });
+                    }
+                }
+                match BottomTransition::lookup(state, event) {
+                    Some(bt) => {
+                        if let Some(enter) = sub_enter {
+                            out.bottom_sojourns.push(SojournSample {
+                                transition: bt,
+                                enter,
+                                duration_ms: t.since(enter),
+                            });
+                        }
+                    }
+                    None => {
+                        // A top-level move ended this bottom-state visit:
+                        // censored (no Category-2 event this visit).
+                        if state != TlState::Deregistered {
+                            if let Some(enter) = sub_enter {
+                                out.bottom_censored.push((state, enter));
+                            }
+                        }
+                    }
+                }
+                next
+            }
+            None => {
+                out.violations.push(Violation { index, state, event, t });
+                let idle_context = !matches!(state, TlState::Connected(_));
+                TlState::after_event(event, idle_context)
+            }
+        };
+
+        // Close the current segment and open the next one.
+        seg.exit = Some(t);
+        seg.out_event = Some(event);
+        out.segments.push(seg);
+        seg = Segment { state: next, enter: Some(t), exit: None, out_event: None };
+
+        if next.top() != state.top() {
+            top_enter = Some(t);
+        }
+        sub_enter = Some(t);
+        state = next;
+    }
+    out.segments.push(seg);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_level::{ConnSub, IdleSub};
+    use cn_trace::{DeviceType, UeId};
+
+    fn stream(events: &[(u64, EventType)]) -> Vec<TraceRecord> {
+        events
+            .iter()
+            .map(|&(t, e)| {
+                TraceRecord::new(Timestamp::from_millis(t), UeId(0), DeviceType::Phone, e)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_stream_is_empty_outcome() {
+        let out = replay_ue(&[]);
+        assert!(out.segments.is_empty());
+        assert!(out.is_conformant());
+    }
+
+    #[test]
+    fn full_lifecycle_is_conformant() {
+        use EventType::*;
+        let evs = stream(&[
+            (0, Attach),
+            (1_000, Handover),
+            (2_000, Tau),
+            (5_000, S1ConnRelease),
+            (9_000, Tau),
+            (9_500, S1ConnRelease),
+            (20_000, ServiceRequest),
+            (30_000, S1ConnRelease),
+            (60_000, Detach),
+        ]);
+        let out = replay_ue(&evs);
+        assert!(out.is_conformant(), "{:?}", out.violations);
+        // Final state: Deregistered.
+        assert_eq!(out.segments.last().unwrap().state, TlState::Deregistered);
+    }
+
+    #[test]
+    fn top_sojourns_measure_connected_and_idle() {
+        use EventType::*;
+        let evs = stream(&[
+            (0, Attach),
+            (5_000, S1ConnRelease),    // CONNECTED for 5 s
+            (25_000, ServiceRequest),  // IDLE for 20 s
+            (26_000, S1ConnRelease),   // CONNECTED for 1 s
+        ]);
+        let out = replay_ue(&evs);
+        assert!(out.is_conformant());
+        let durations: Vec<(TopTransition, u64)> = out
+            .top_sojourns
+            .iter()
+            .map(|s| (s.transition, s.duration_ms))
+            .collect();
+        assert_eq!(
+            durations,
+            vec![
+                (TopTransition::ConnToIdle, 5_000),
+                (TopTransition::IdleToConn, 20_000),
+                (TopTransition::ConnToIdle, 1_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn first_event_emits_no_sojourn() {
+        use EventType::*;
+        // Stream starts mid-connection with a release: entry time unknown.
+        let evs = stream(&[(10_000, S1ConnRelease), (40_000, ServiceRequest)]);
+        let out = replay_ue(&evs);
+        assert!(out.is_conformant());
+        // Only the IDLE sojourn (30 s) is measurable.
+        assert_eq!(out.top_sojourns.len(), 1);
+        assert_eq!(out.top_sojourns[0].transition, TopTransition::IdleToConn);
+        assert_eq!(out.top_sojourns[0].duration_ms, 30_000);
+    }
+
+    #[test]
+    fn bottom_sojourns_include_self_loops() {
+        use EventType::*;
+        let evs = stream(&[
+            (0, Attach),
+            (1_000, Handover), // SRV_REQ_S --HO--> HO_S (1s)
+            (3_000, Handover), // HO_S --HO--> HO_S (2s)
+            (6_000, Tau),      // HO_S --TAU--> TAU_S_CONN (3s)
+        ]);
+        let out = replay_ue(&evs);
+        assert!(out.is_conformant());
+        let bt: Vec<(BottomTransition, u64)> = out
+            .bottom_sojourns
+            .iter()
+            .map(|s| (s.transition, s.duration_ms))
+            .collect();
+        assert_eq!(
+            bt,
+            vec![
+                (BottomTransition::SrvReqToHo, 1_000),
+                (BottomTransition::HoToHo, 2_000),
+                (BottomTransition::HoToTauConn, 3_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn idle_tau_release_chain_sojourns() {
+        use EventType::*;
+        let evs = stream(&[
+            (0, Attach),
+            (1_000, S1ConnRelease), // → Idle(S1RelS1)
+            (4_000, Tau),           // S1_REL_1 --TAU--> TAU_S_IDLE (3s)
+            (4_200, S1ConnRelease), // TAU_S_IDLE --S1_REL--> S1_REL_S_2 (0.2s)
+            (9_200, Tau),           // S1_REL_2 --TAU--> TAU_S_IDLE (5s)
+        ]);
+        let out = replay_ue(&evs);
+        assert!(out.is_conformant(), "{:?}", out.violations);
+        let bt: Vec<(BottomTransition, u64)> = out
+            .bottom_sojourns
+            .iter()
+            .map(|s| (s.transition, s.duration_ms))
+            .collect();
+        assert_eq!(
+            bt,
+            vec![
+                (BottomTransition::S1Rel1ToTauIdle, 3_000),
+                (BottomTransition::TauIdleToS1Rel2, 200),
+                (BottomTransition::S1Rel2ToTauIdle, 5_000),
+            ]
+        );
+        // The idle TAU-release is NOT a top-level transition.
+        assert_eq!(out.top_sojourns.len(), 1);
+        assert_eq!(out.top_sojourns[0].transition, TopTransition::ConnToIdle);
+    }
+
+    #[test]
+    fn violations_recorded_and_recovered() {
+        use EventType::*;
+        // HO while idle — the Base method's classic mistake.
+        let evs = stream(&[
+            (0, Attach),
+            (1_000, S1ConnRelease),
+            (2_000, Handover), // illegal in IDLE
+            (3_000, S1ConnRelease),
+        ]);
+        let out = replay_ue(&evs);
+        assert_eq!(out.violations.len(), 1);
+        let v = out.violations[0];
+        assert_eq!(v.index, 2);
+        assert_eq!(v.event, Handover);
+        assert_eq!(v.state, TlState::Idle(IdleSub::S1RelS1));
+        // Forced to HO_S (connected), so the final release is legal again.
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.segments.last().unwrap().state, TlState::Idle(IdleSub::S1RelS1));
+    }
+
+    #[test]
+    fn event_context_attributes_top_state() {
+        use EventType::*;
+        let evs = stream(&[
+            (0, Attach),            // fired in DEREGISTERED
+            (1_000, Handover),      // fired in CONNECTED
+            (2_000, S1ConnRelease), // fired in CONNECTED
+            (3_000, Tau),           // fired in IDLE
+        ]);
+        let out = replay_ue(&evs);
+        assert_eq!(
+            out.event_context,
+            vec![
+                TopState::Deregistered,
+                TopState::Connected,
+                TopState::Connected,
+                TopState::Idle
+            ]
+        );
+    }
+
+    #[test]
+    fn initial_state_inference() {
+        use EventType::*;
+        assert_eq!(initial_state_for(Attach), TlState::Deregistered);
+        assert_eq!(initial_state_for(Handover), TlState::Connected(ConnSub::SrvReqS));
+        assert_eq!(initial_state_for(ServiceRequest), TlState::Idle(IdleSub::S1RelS1));
+        // And the inferred states make the first event legal.
+        for e in EventType::ALL {
+            assert!(initial_state_for(e).apply(e).is_some(), "{e}");
+        }
+    }
+
+    #[test]
+    fn segment_chain_is_contiguous() {
+        use EventType::*;
+        let evs = stream(&[(0, Attach), (500, Tau), (900, S1ConnRelease)]);
+        let out = replay_ue(&evs);
+        assert_eq!(out.segments.len(), 4); // initial + 3 transitions
+        for w in out.segments.windows(2) {
+            assert_eq!(w[0].exit, w[1].enter);
+        }
+        assert!(out.segments.last().unwrap().exit.is_none());
+    }
+}

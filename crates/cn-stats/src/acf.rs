@@ -1,0 +1,112 @@
+//! Autocorrelation of binned count series.
+//!
+//! The time-domain companion of the variance–time plot: long-range-
+//! dependent traffic has slowly decaying autocorrelations
+//! (`ρ(k) ~ k^{−β}` with `β = 2 − 2H`), while Poisson counts decorrelate
+//! immediately. Used to sanity-check burstiness claims lag by lag.
+
+use serde::{Deserialize, Serialize};
+
+/// Autocorrelation estimates at lags `1..=max_lag`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Autocorrelation {
+    /// `rho[k-1]` is the autocorrelation at lag `k`.
+    pub rho: Vec<f64>,
+    /// Series length used.
+    pub n: usize,
+}
+
+impl Autocorrelation {
+    /// Autocorrelation at lag `k` (1-based); `None` out of range.
+    pub fn at(&self, lag: usize) -> Option<f64> {
+        (lag >= 1).then(|| self.rho.get(lag - 1).copied()).flatten()
+    }
+
+    /// Smallest lag with `|ρ| < threshold`, if any (how fast the series
+    /// decorrelates).
+    pub fn decorrelation_lag(&self, threshold: f64) -> Option<usize> {
+        self.rho
+            .iter()
+            .position(|r| r.abs() < threshold)
+            .map(|i| i + 1)
+    }
+}
+
+/// Estimate the autocorrelation function of a count series.
+///
+/// Uses the standard biased estimator (normalizing by the lag-0
+/// autocovariance). Returns `None` for series shorter than `max_lag + 2`
+/// bins or with zero variance.
+pub fn autocorrelation(bins: &[u32], max_lag: usize) -> Option<Autocorrelation> {
+    let n = bins.len();
+    if max_lag == 0 || n < max_lag + 2 {
+        return None;
+    }
+    let xs: Vec<f64> = bins.iter().map(|&c| f64::from(c)).collect();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let c0: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if c0 <= 0.0 {
+        return None;
+    }
+    let rho = (1..=max_lag)
+        .map(|k| {
+            let ck: f64 = xs[..n - k]
+                .iter()
+                .zip(&xs[k..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / n as f64;
+            ck / c0
+        })
+        .collect();
+    Some(Autocorrelation { rho, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 5).is_none());
+        assert!(autocorrelation(&[1, 2, 3], 5).is_none());
+        assert!(autocorrelation(&[7; 100], 5).is_none()); // constant
+        assert!(autocorrelation(&[1, 2, 3, 4, 5, 6], 0).is_none());
+    }
+
+    #[test]
+    fn iid_counts_decorrelate_immediately() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bins: Vec<u32> = (0..20_000).map(|_| rng.gen_range(0..10)).collect();
+        let acf = autocorrelation(&bins, 20).unwrap();
+        for (k, r) in acf.rho.iter().enumerate() {
+            assert!(r.abs() < 0.05, "lag {}: {r}", k + 1);
+        }
+        assert_eq!(acf.decorrelation_lag(0.05), Some(1));
+    }
+
+    #[test]
+    fn smooth_series_has_long_memory() {
+        // Slowly varying sinusoid + noise: high ACF at small lags.
+        let mut rng = StdRng::seed_from_u64(3);
+        let bins: Vec<u32> = (0..20_000)
+            .map(|i| {
+                let base = 50.0 + 40.0 * (i as f64 / 500.0).sin();
+                (base + rng.gen_range(-2.0..2.0)).max(0.0) as u32
+            })
+            .collect();
+        let acf = autocorrelation(&bins, 50).unwrap();
+        assert!(acf.at(1).unwrap() > 0.9);
+        assert!(acf.at(50).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let bins: Vec<u32> = (0..1_000).map(|i| if i % 2 == 0 { 10 } else { 0 }).collect();
+        let acf = autocorrelation(&bins, 4).unwrap();
+        assert!(acf.at(1).unwrap() < -0.9);
+        assert!(acf.at(2).unwrap() > 0.9);
+    }
+}

@@ -1,0 +1,241 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's key modeling decision (§5.2) is to model sojourn times with
+//! the *empirical CDF* of the observed samples rather than a fitted
+//! parametric family. An [`Ecdf`] stores the sorted samples and supports
+//! CDF evaluation, quantiles, inverse-transform sampling, and the
+//! maximum-y-distance comparison used as the paper's microscopic fidelity
+//! metric (§8.1.2).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// Invariant: `samples` is non-empty, finite, and sorted ascending.
+///
+/// ```
+/// use cn_stats::Ecdf;
+/// let e = Ecdf::new(vec![2.0, 1.0, 4.0, 4.0]).unwrap();
+/// assert_eq!(e.cdf(1.0), 0.25);
+/// assert_eq!(e.cdf(4.0), 1.0);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    samples: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (any order). Returns `None` when `samples` is
+    /// empty or contains non-finite values.
+    pub fn new(mut samples: Vec<f64>) -> Option<Ecdf> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Ecdf { samples })
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Always false: an `Ecdf` holds at least one sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.samples[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.samples.last().expect("non-empty")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Empirical CDF: fraction of samples ≤ `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Empirical quantile for `p ∈ [0, 1]` (inverse CDF, lower
+    /// interpolation): the smallest sample `x` with `cdf(x) >= p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return self.min();
+        }
+        let n = self.samples.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.samples[idx]
+    }
+
+    /// Draw one value by inverse-transform sampling (a uniformly random
+    /// observed sample — the paper's generator "follows the CDF", §7).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let idx = rng.gen_range(0..self.samples.len());
+        self.samples[idx]
+    }
+
+    /// Draw one value by *smoothed* inverse-transform sampling: linear
+    /// interpolation between adjacent order statistics, so synthetic values
+    /// are not limited to exactly the observed points.
+    pub fn sample_smoothed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let u: f64 = rng.gen::<f64>() * (n - 1) as f64;
+        let lo = u.floor() as usize;
+        let frac = u - lo as f64;
+        let hi = (lo + 1).min(n - 1);
+        self.samples[lo] + (self.samples[hi] - self.samples[lo]) * frac
+    }
+
+    /// Maximum vertical distance between this ECDF and `other`
+    /// (the two-sample Kolmogorov–Smirnov statistic; the paper's
+    /// "maximum y-distance of the CDF", §8.1.2).
+    pub fn max_y_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in &self.samples {
+            d = d.max((self.cdf(x) - other.cdf(x)).abs());
+            // Also check just below x (left limit of the step).
+            let eps_cdf_self = self.cdf_strictly_below(x);
+            let eps_cdf_other = other.cdf_strictly_below(x);
+            d = d.max((eps_cdf_self - eps_cdf_other).abs());
+        }
+        for &x in &other.samples {
+            d = d.max((self.cdf(x) - other.cdf(x)).abs());
+            let eps_cdf_self = self.cdf_strictly_below(x);
+            let eps_cdf_other = other.cdf_strictly_below(x);
+            d = d.max((eps_cdf_self - eps_cdf_other).abs());
+        }
+        d
+    }
+
+    /// Quantile–quantile points against another ECDF: `(self_q, other_q)`
+    /// at `n_points` evenly spaced probability levels — the data behind a
+    /// Q–Q plot (points far off the diagonal show where the distributions
+    /// diverge, e.g. Fig. 4's uncovered tails).
+    pub fn qq_points(&self, other: &Ecdf, n_points: usize) -> Vec<(f64, f64)> {
+        let n_points = n_points.max(2);
+        (0..n_points)
+            .map(|i| {
+                let p = (i as f64 + 0.5) / n_points as f64;
+                (self.quantile(p), other.quantile(p))
+            })
+            .collect()
+    }
+
+    /// Fraction of samples strictly less than `x` (left limit of the CDF).
+    fn cdf_strictly_below(&self, x: f64) -> f64 {
+        let n = self.samples.partition_point(|&s| s < x);
+        n as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.0), 0.75);
+        assert_eq!(e.cdf(3.0), 0.75);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.26), 20.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn sampling_stays_in_support() {
+        let e = Ecdf::new(vec![3.0, 7.0, 9.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = e.sample(&mut rng);
+            assert!([3.0, 7.0, 9.0].contains(&x));
+            let y = e.sample_smoothed(&mut rng);
+            assert!((3.0..=9.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn max_y_distance_identical_is_zero() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.max_y_distance(&e.clone()), 0.0);
+    }
+
+    #[test]
+    fn max_y_distance_disjoint_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0]).unwrap();
+        let b = Ecdf::new(vec![10.0, 20.0]).unwrap();
+        assert_eq!(a.max_y_distance(&b), 1.0);
+        assert_eq!(b.max_y_distance(&a), 1.0);
+    }
+
+    #[test]
+    fn max_y_distance_known_value() {
+        // a: steps at 1,2,3,4 ; b: steps at 1,2 shifted mass
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Ecdf::new(vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        // At x slightly below 3: a has cdf 0.5, b has 0 → 0.5.
+        assert!((a.max_y_distance(&b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qq_points_diagonal_for_identical() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect()).unwrap();
+        for (a, b) in e.qq_points(&e.clone(), 10) {
+            assert_eq!(a, b);
+        }
+        // Shifted distribution: constant offset off the diagonal.
+        let shifted = Ecdf::new((1..=100).map(|i| f64::from(i) + 5.0).collect()).unwrap();
+        for (a, b) in e.qq_points(&shifted, 10) {
+            assert_eq!(b - a, 5.0);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Ecdf::new(vec![2.0, 1.0, 5.5]).unwrap();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Ecdf = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

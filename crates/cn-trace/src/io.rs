@@ -1,0 +1,361 @@
+//! Trace (de)serialization: CSV, JSON-lines, and a compact binary format.
+//!
+//! * **CSV** — human-readable interchange: `t_ms,ue,device,event` with the
+//!   paper's mnemonics; good for spreadsheets and diffing.
+//! * **JSONL** — one serde-serialized [`TraceRecord`] per line; good for
+//!   piping into other tooling.
+//! * **Binary** — fixed 14-byte little-endian records behind a magic header;
+//!   the format used for large generated traces (a week of 380K UEs is
+//!   hundreds of millions of events).
+
+use crate::device::DeviceType;
+use crate::event::EventType;
+use crate::record::{TraceRecord, UeId};
+use crate::time::Timestamp;
+use crate::trace::Trace;
+use bytes::{Buf, BufMut};
+use std::io::{BufRead, Write};
+
+/// Magic bytes opening the binary trace format.
+pub const BINARY_MAGIC: &[u8; 8] = b"CPTGBIN1";
+
+/// Errors arising while reading or writing traces.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed CSV line (line number, message).
+    Csv(usize, String),
+    /// A malformed JSONL line (line number, serde message).
+    Json(usize, String),
+    /// Binary stream corruption.
+    Binary(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Csv(line, msg) => write!(f, "csv parse error at line {line}: {msg}"),
+            IoError::Json(line, msg) => write!(f, "jsonl parse error at line {line}: {msg}"),
+            IoError::Binary(msg) => write!(f, "binary trace error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write a trace as CSV with a header row.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), IoError> {
+    writeln!(w, "t_ms,ue,device,event")?;
+    for r in trace.iter() {
+        writeln!(
+            w,
+            "{},{},{},{}",
+            r.t.as_millis(),
+            r.ue.get(),
+            r.device.abbrev(),
+            r.event.mnemonic()
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a trace from CSV produced by [`write_csv`].
+pub fn read_csv<R: BufRead>(r: R) -> Result<Trace, IoError> {
+    let mut records = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if lineno == 1 && line.starts_with("t_ms") {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = |name: &str| {
+            parts
+                .next()
+                .ok_or_else(|| IoError::Csv(lineno, format!("missing field `{name}`")))
+        };
+        let t: u64 = field("t_ms")?
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Csv(lineno, format!("bad t_ms: {e}")))?;
+        let ue: u32 = field("ue")?
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Csv(lineno, format!("bad ue: {e}")))?;
+        let dev_s = field("device")?.trim().to_string();
+        let device = DeviceType::ALL
+            .into_iter()
+            .find(|d| d.abbrev() == dev_s)
+            .ok_or_else(|| IoError::Csv(lineno, format!("unknown device `{dev_s}`")))?;
+        let ev_s = field("event")?.trim().to_string();
+        let event = EventType::from_mnemonic(&ev_s)
+            .ok_or_else(|| IoError::Csv(lineno, format!("unknown event `{ev_s}`")))?;
+        records.push(TraceRecord::new(
+            Timestamp::from_millis(t),
+            UeId(ue),
+            device,
+            event,
+        ));
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Write a trace as JSON-lines (one [`TraceRecord`] object per line).
+pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), IoError> {
+    for r in trace.iter() {
+        let line = serde_json::to_string(r)
+            .map_err(|e| IoError::Json(0, e.to_string()))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Read a trace from JSON-lines produced by [`write_jsonl`].
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, IoError> {
+    let mut records = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord = serde_json::from_str(&line)
+            .map_err(|e| IoError::Json(i + 1, e.to_string()))?;
+        records.push(rec);
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Serialize a trace to the compact binary format.
+pub fn to_binary(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + trace.len() * 14);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(trace.len() as u64);
+    for r in trace.iter() {
+        buf.put_u64_le(r.t.as_millis());
+        buf.put_u32_le(r.ue.get());
+        buf.put_u8(r.device.code());
+        buf.put_u8(r.event.code());
+    }
+    buf
+}
+
+/// Deserialize a trace from the compact binary format.
+pub fn from_binary(mut data: &[u8]) -> Result<Trace, IoError> {
+    if data.len() < 16 {
+        return Err(IoError::Binary("truncated header".into()));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != BINARY_MAGIC {
+        return Err(IoError::Binary("bad magic".into()));
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() != n * 14 {
+        return Err(IoError::Binary(format!(
+            "expected {} record bytes, found {}",
+            n * 14,
+            data.remaining()
+        )));
+    }
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = data.get_u64_le();
+        let ue = data.get_u32_le();
+        let device = DeviceType::from_code(data.get_u8())
+            .ok_or_else(|| IoError::Binary("bad device code".into()))?;
+        let event = EventType::from_code(data.get_u8())
+            .ok_or_else(|| IoError::Binary("bad event code".into()))?;
+        records.push(TraceRecord::new(
+            Timestamp::from_millis(t),
+            UeId(ue),
+            device,
+            event,
+        ));
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Incremental writer for the binary format: stream records to any `Write`
+/// sink without materializing the trace (pairs with
+/// `cn-gen::PopulationStream`). The record count is written on `finish`,
+/// so the sink must support seeking — use [`BinaryStreamWriter::new`] on a
+/// `File` or an in-memory cursor.
+pub struct BinaryStreamWriter<W: Write + std::io::Seek> {
+    sink: W,
+    count: u64,
+}
+
+impl<W: Write + std::io::Seek> BinaryStreamWriter<W> {
+    /// Start a binary stream (writes the header with a zero count
+    /// placeholder).
+    pub fn new(mut sink: W) -> Result<Self, IoError> {
+        sink.write_all(BINARY_MAGIC)?;
+        sink.write_all(&0u64.to_le_bytes())?;
+        Ok(BinaryStreamWriter { sink, count: 0 })
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, r: &TraceRecord) -> Result<(), IoError> {
+        let mut buf = [0u8; 14];
+        buf[..8].copy_from_slice(&r.t.as_millis().to_le_bytes());
+        buf[8..12].copy_from_slice(&r.ue.get().to_le_bytes());
+        buf[12] = r.device.code();
+        buf[13] = r.event.code();
+        self.sink.write_all(&buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalize: patch the record count into the header and return the
+    /// sink.
+    pub fn finish(mut self) -> Result<W, IoError> {
+        self.sink.seek(std::io::SeekFrom::Start(BINARY_MAGIC.len() as u64))?;
+        self.sink.write_all(&self.count.to_le_bytes())?;
+        self.sink.seek(std::io::SeekFrom::End(0))?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::from_records(vec![
+            TraceRecord::new(
+                Timestamp::from_millis(100),
+                UeId(1),
+                DeviceType::Phone,
+                EventType::Attach,
+            ),
+            TraceRecord::new(
+                Timestamp::from_millis(250),
+                UeId(2),
+                DeviceType::ConnectedCar,
+                EventType::Handover,
+            ),
+            TraceRecord::new(
+                Timestamp::from_millis(990),
+                UeId(1),
+                DeviceType::Phone,
+                EventType::Detach,
+            ),
+        ])
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let bad = b"t_ms,ue,device,event\n12,notanint,P,ATCH\n";
+        assert!(matches!(read_csv(&bad[..]), Err(IoError::Csv(2, _))));
+        let bad2 = b"t_ms,ue,device,event\n12,1,P,WHAT\n";
+        assert!(matches!(read_csv(&bad2[..]), Err(IoError::Csv(2, _))));
+        let bad3 = b"t_ms,ue,device,event\n12,1\n";
+        assert!(matches!(read_csv(&bad3[..]), Err(IoError::Csv(2, _))));
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let bin = to_binary(&t);
+        let back = from_binary(&bin).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let t = sample();
+        let mut bin = to_binary(&t);
+        // Truncate.
+        bin.pop();
+        assert!(matches!(from_binary(&bin), Err(IoError::Binary(_))));
+        // Bad magic.
+        let mut bin2 = to_binary(&t);
+        bin2[0] = b'X';
+        assert!(matches!(from_binary(&bin2), Err(IoError::Binary(_))));
+        // Bad event code.
+        let mut bin3 = to_binary(&t);
+        let last = bin3.len() - 1;
+        bin3[last] = 99;
+        assert!(matches!(from_binary(&bin3), Err(IoError::Binary(_))));
+    }
+
+    #[test]
+    fn binary_stream_writer_matches_batch() {
+        let t = sample();
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        {
+            let mut w = BinaryStreamWriter::new(&mut cursor).unwrap();
+            for r in t.iter() {
+                w.write(r).unwrap();
+            }
+            assert_eq!(w.written(), t.len() as u64);
+            w.finish().unwrap();
+        }
+        let bytes = cursor.into_inner();
+        assert_eq!(bytes, to_binary(&t));
+        assert_eq!(from_binary(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_stream_writer_empty() {
+        let cursor = std::io::Cursor::new(Vec::new());
+        let w = BinaryStreamWriter::new(cursor).unwrap();
+        let bytes = w.finish().unwrap().into_inner();
+        assert_eq!(from_binary(&bytes).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn empty_trace_round_trips_everywhere() {
+        let t = Trace::new();
+        let mut csv = Vec::new();
+        write_csv(&t, &mut csv).unwrap();
+        assert_eq!(read_csv(&csv[..]).unwrap(), t);
+        let bin = to_binary(&t);
+        assert_eq!(from_binary(&bin).unwrap(), t);
+        let mut jl = Vec::new();
+        write_jsonl(&t, &mut jl).unwrap();
+        assert_eq!(read_jsonl(&jl[..]).unwrap(), t);
+    }
+}

@@ -1,0 +1,40 @@
+//! Control-plane event and trace substrate.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: the six LTE control-plane event types of Table 1 of the paper
+//! (*Modeling and Generating Control-Plane Traffic for Cellular Networks*,
+//! IMC '23), device types, millisecond timestamps, the [`TraceRecord`]
+//! event record, the sorted [`Trace`] container with k-way merging and
+//! hour/device partitioning, and trace serialization (CSV, JSONL, and a
+//! compact binary format).
+//!
+//! Design notes
+//! ------------
+//! * Events are small `Copy` values; a trace is a flat, time-sorted
+//!   `Vec<TraceRecord>` — cache-friendly and trivially mappable to the
+//!   on-disk binary format.
+//! * All timestamps are in **milliseconds** (the paper's collection
+//!   granularity) since an arbitrary epoch; hour-of-day arithmetic treats
+//!   `t = 0` as midnight of day 0.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod event;
+pub mod io;
+pub mod record;
+pub mod relabel;
+pub mod series;
+pub mod summary;
+pub mod time;
+pub mod trace;
+pub mod validate;
+
+pub use device::{DeviceType, PopulationMix};
+pub use event::{EventCategory, EventType};
+pub use record::{TraceRecord, UeId};
+pub use time::{HourOfDay, Timestamp, MS_PER_DAY, MS_PER_HOUR, MS_PER_SEC};
+pub use summary::TraceSummary;
+pub use trace::{PerUeView, Trace};
+pub use validate::{check_well_formed, WellFormedError};

@@ -1,0 +1,122 @@
+//! Count time series over traces.
+//!
+//! Several analyses (variance–time plots, diurnal profiles, monitoring
+//! sampling studies) start by binning events into fixed windows. This
+//! module provides those binnings once, with explicit edge semantics:
+//! windows are half-open `[start + k·w, start + (k+1)·w)` and the last
+//! partial window is included.
+
+use crate::device::DeviceType;
+use crate::event::EventType;
+use crate::time::Timestamp;
+use crate::trace::Trace;
+
+/// Events per fixed window over `[start, end)`.
+///
+/// Returns an empty vector when the range or window is degenerate.
+pub fn count_series(trace: &Trace, start: Timestamp, end: Timestamp, window_ms: u64) -> Vec<u32> {
+    if window_ms == 0 || end <= start {
+        return Vec::new();
+    }
+    let span = end.since(start);
+    let n = span.div_ceil(window_ms) as usize;
+    let mut bins = vec![0u32; n];
+    for r in trace.iter() {
+        if r.t >= start && r.t < end {
+            bins[(r.t.since(start) / window_ms) as usize] += 1;
+        }
+    }
+    bins
+}
+
+/// Event counts per hour-of-day (pooled across days), optionally filtered
+/// by device and/or event type.
+pub fn hour_of_day_profile(
+    trace: &Trace,
+    device: Option<DeviceType>,
+    event: Option<EventType>,
+) -> [u64; 24] {
+    let mut profile = [0u64; 24];
+    for r in trace.iter() {
+        if device.is_some_and(|d| d != r.device) {
+            continue;
+        }
+        if event.is_some_and(|e| e != r.event) {
+            continue;
+        }
+        profile[r.t.hour_of_day().index()] += 1;
+    }
+    profile
+}
+
+/// Event timestamps (ms) of one event type, in trace order — the point
+/// process handed to variance–time / Hurst analyses.
+pub fn event_times(trace: &Trace, device: Option<DeviceType>, event: EventType) -> Vec<u64> {
+    trace
+        .iter()
+        .filter(|r| r.event == event && device.is_none_or(|d| d == r.device))
+        .map(|r| r.t.as_millis())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{TraceRecord, UeId};
+    use crate::time::MS_PER_HOUR;
+
+    fn rec(t: u64, d: DeviceType, e: EventType) -> TraceRecord {
+        TraceRecord::new(Timestamp::from_millis(t), UeId(0), d, e)
+    }
+
+    fn sample() -> Trace {
+        Trace::from_records(vec![
+            rec(0, DeviceType::Phone, EventType::ServiceRequest),
+            rec(500, DeviceType::Phone, EventType::S1ConnRelease),
+            rec(1_000, DeviceType::Tablet, EventType::ServiceRequest),
+            rec(2_500, DeviceType::Phone, EventType::Tau),
+            rec(MS_PER_HOUR + 10, DeviceType::Phone, EventType::ServiceRequest),
+        ])
+    }
+
+    #[test]
+    fn count_series_bins_half_open() {
+        let t = sample();
+        let bins = count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(3_000), 1_000);
+        assert_eq!(bins, vec![2, 1, 1]);
+        // Partial last window included.
+        let bins = count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(2_600), 1_000);
+        assert_eq!(bins, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn count_series_degenerate() {
+        let t = sample();
+        assert!(count_series(&t, Timestamp::from_millis(5), Timestamp::from_millis(5), 10).is_empty());
+        assert!(count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(10), 0).is_empty());
+    }
+
+    #[test]
+    fn hourly_profile_filters() {
+        let t = sample();
+        let all = hour_of_day_profile(&t, None, None);
+        assert_eq!(all[0], 4);
+        assert_eq!(all[1], 1);
+        let phones_srv = hour_of_day_profile(
+            &t,
+            Some(DeviceType::Phone),
+            Some(EventType::ServiceRequest),
+        );
+        assert_eq!(phones_srv[0], 1);
+        assert_eq!(phones_srv[1], 1);
+    }
+
+    #[test]
+    fn event_times_extracts_points() {
+        let t = sample();
+        let srv = event_times(&t, None, EventType::ServiceRequest);
+        assert_eq!(srv, vec![0, 1_000, MS_PER_HOUR + 10]);
+        let phone_srv = event_times(&t, Some(DeviceType::Phone), EventType::ServiceRequest);
+        assert_eq!(phone_srv, vec![0, MS_PER_HOUR + 10]);
+    }
+}

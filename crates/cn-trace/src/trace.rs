@@ -1,0 +1,404 @@
+//! The sorted trace container and its partitioning/merging operations.
+//!
+//! Traces are flat vectors of [`TraceRecord`]s sorted by time. The modeling
+//! pipeline repeatedly needs per-UE views (to replay state machines),
+//! per-hour-of-day slices (models are per 1-hour interval, pooled across
+//! days, §4.1.1), per-device slices, and k-way merging of independently
+//! generated per-UE streams into one population trace.
+
+use crate::device::DeviceType;
+use crate::record::{TraceRecord, UeId};
+use crate::time::{HourOfDay, Timestamp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-sorted sequence of control-plane events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { records: Vec::new() }
+    }
+
+    /// An empty trace with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Trace { records: Vec::with_capacity(cap) }
+    }
+
+    /// Build a trace from records in any order; they are sorted on entry.
+    pub fn from_records(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_unstable();
+        Trace { records }
+    }
+
+    /// Append a record, keeping the container sorted.
+    ///
+    /// Appending in non-decreasing time order is O(1); out-of-order pushes
+    /// fall back to a binary-search insert.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.records.last().is_some_and(|last| rec < *last) {
+            let pos = self.records.partition_point(|r| *r <= rec);
+            self.records.insert(pos, rec);
+        } else {
+            self.records.push(rec);
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The sorted records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterate over the sorted records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Timestamp of the first event, if any.
+    pub fn start(&self) -> Option<Timestamp> {
+        self.records.first().map(|r| r.t)
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn end(&self) -> Option<Timestamp> {
+        self.records.last().map(|r| r.t)
+    }
+
+    /// Distinct UEs present in the trace, sorted by id.
+    pub fn ues(&self) -> Vec<UeId> {
+        let mut ids: Vec<UeId> = self.records.iter().map(|r| r.ue).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Device type of a UE, from its first record (a well-formed trace has a
+    /// single device type per UE; see [`crate::validate`]).
+    pub fn device_of(&self, ue: UeId) -> Option<DeviceType> {
+        self.records.iter().find(|r| r.ue == ue).map(|r| r.device)
+    }
+
+    /// Events that fall within the given hour-of-day, on any day.
+    pub fn filter_hour_of_day(&self, hour: HourOfDay) -> Trace {
+        Trace {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.t.hour_of_day() == hour)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Events from UEs of the given device type.
+    pub fn filter_device(&self, device: DeviceType) -> Trace {
+        Trace {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.device == device)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Events with `start <= t < end`.
+    pub fn window(&self, start: Timestamp, end: Timestamp) -> Trace {
+        let lo = self.records.partition_point(|r| r.t < start);
+        let hi = self.records.partition_point(|r| r.t < end);
+        Trace { records: self.records[lo..hi].to_vec() }
+    }
+
+    /// Group records by UE, preserving time order within each UE.
+    pub fn per_ue(&self) -> PerUeView {
+        let mut by_ue: Vec<TraceRecord> = self.records.clone();
+        // Stable sort by UE keeps the existing time order within each UE.
+        by_ue.sort_by_key(|r| r.ue);
+        let mut spans: Vec<(UeId, std::ops::Range<usize>)> = Vec::new();
+        let mut i = 0;
+        while i < by_ue.len() {
+            let ue = by_ue[i].ue;
+            let start = i;
+            while i < by_ue.len() && by_ue[i].ue == ue {
+                i += 1;
+            }
+            spans.push((ue, start..i));
+        }
+        PerUeView { records: by_ue, spans }
+    }
+
+    /// Merge any number of sorted traces into one sorted trace (k-way merge).
+    ///
+    /// Used to combine independently generated per-UE event streams into the
+    /// population-level trace (§7).
+    pub fn merge(traces: Vec<Trace>) -> Trace {
+        let total: usize = traces.iter().map(Trace::len).sum();
+        let mut out = Vec::with_capacity(total);
+        // Heap of (next record, trace index, cursor), ordered by record.
+        let mut heap: BinaryHeap<Reverse<(TraceRecord, usize, usize)>> = traces
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.records.first().map(|&r| Reverse((r, i, 0))))
+            .collect();
+        while let Some(Reverse((rec, ti, cursor))) = heap.pop() {
+            out.push(rec);
+            let next = cursor + 1;
+            if let Some(&r) = traces[ti].records.get(next) {
+                heap.push(Reverse((r, ti, next)));
+            }
+        }
+        Trace { records: out }
+    }
+
+    /// Consume the trace, returning the sorted record vector.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// A copy of the trace with every timestamp shifted by `offset_ms`
+    /// (saturating). Useful for splicing traces end to end (e.g. repeating
+    /// a modeled day) while keeping them sorted.
+    pub fn shifted(&self, offset_ms: i64) -> Trace {
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                let t = if offset_ms >= 0 {
+                    r.t.saturating_add(offset_ms as u64)
+                } else {
+                    Timestamp::from_millis(
+                        r.t.as_millis().saturating_sub(offset_ms.unsigned_abs()),
+                    )
+                };
+                TraceRecord::new(t, r.ue, r.device, r.event)
+            })
+            .collect();
+        Trace { records }
+    }
+
+    /// Split the trace into two by UE: approximately `fraction` of the UEs
+    /// (seeded pseudorandom choice) land in the first trace, the rest in
+    /// the second. Every UE's events stay together — the split is the
+    /// UE-level holdout used for honest model evaluation.
+    pub fn partition_ues(&self, fraction: f64, seed: u64) -> (Trace, Trace) {
+        use std::collections::HashMap;
+        let fraction = fraction.clamp(0.0, 1.0);
+        // Seeded per-UE coin via SplitMix64 — stable across trace layouts.
+        let mut coin: HashMap<UeId, bool> = HashMap::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for r in &self.records {
+            let heads = *coin.entry(r.ue).or_insert_with(|| {
+                let mut x = seed ^ (u64::from(r.ue.get()).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                (x as f64 / u64::MAX as f64) < fraction
+            });
+            if heads {
+                a.push(*r);
+            } else {
+                b.push(*r);
+            }
+        }
+        (Trace { records: a }, Trace { records: b })
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        Trace::from_records(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Records of a trace grouped by UE (each group time-sorted).
+#[derive(Debug, Clone)]
+pub struct PerUeView {
+    records: Vec<TraceRecord>,
+    spans: Vec<(UeId, std::ops::Range<usize>)>,
+}
+
+impl PerUeView {
+    /// Number of distinct UEs.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no UEs are present.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterate `(ue, events-of-ue)` in UE-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (UeId, &[TraceRecord])> {
+        self.spans
+            .iter()
+            .map(move |(ue, range)| (*ue, &self.records[range.clone()]))
+    }
+
+    /// Events of one UE, if present.
+    pub fn get(&self, ue: UeId) -> Option<&[TraceRecord]> {
+        let idx = self.spans.binary_search_by_key(&ue, |(u, _)| *u).ok()?;
+        let (_, range) = &self.spans[idx];
+        Some(&self.records[range.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventType;
+    use crate::time::MS_PER_HOUR;
+
+    fn rec(t: u64, ue: u32, e: EventType) -> TraceRecord {
+        TraceRecord::new(Timestamp::from_millis(t), UeId(ue), DeviceType::Phone, e)
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let t = Trace::from_records(vec![
+            rec(30, 0, EventType::Tau),
+            rec(10, 1, EventType::Attach),
+            rec(20, 0, EventType::ServiceRequest),
+        ]);
+        let times: Vec<u64> = t.iter().map(|r| r.t.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn push_keeps_sorted_even_out_of_order() {
+        let mut t = Trace::new();
+        t.push(rec(20, 0, EventType::Attach));
+        t.push(rec(10, 0, EventType::Attach));
+        t.push(rec(15, 0, EventType::ServiceRequest));
+        let times: Vec<u64> = t.iter().map(|r| r.t.as_millis()).collect();
+        assert_eq!(times, vec![10, 15, 20]);
+    }
+
+    #[test]
+    fn per_ue_groups_and_preserves_order() {
+        let t = Trace::from_records(vec![
+            rec(10, 2, EventType::Attach),
+            rec(20, 1, EventType::Attach),
+            rec(30, 2, EventType::ServiceRequest),
+            rec(40, 1, EventType::Detach),
+        ]);
+        let view = t.per_ue();
+        assert_eq!(view.len(), 2);
+        let ue1 = view.get(UeId(1)).unwrap();
+        assert_eq!(ue1.len(), 2);
+        assert_eq!(ue1[0].event, EventType::Attach);
+        assert_eq!(ue1[1].event, EventType::Detach);
+        assert!(view.get(UeId(9)).is_none());
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = Trace::from_records(vec![rec(10, 0, EventType::Attach), rec(30, 0, EventType::Tau)]);
+        let b = Trace::from_records(vec![rec(20, 1, EventType::Attach), rec(40, 1, EventType::Tau)]);
+        let m = Trace::merge(vec![a, b]);
+        let times: Vec<u64> = m.iter().map(|r| r.t.as_millis()).collect();
+        assert_eq!(times, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(Trace::merge(vec![]).is_empty());
+        assert!(Trace::merge(vec![Trace::new(), Trace::new()]).is_empty());
+    }
+
+    #[test]
+    fn hour_filter() {
+        let t = Trace::from_records(vec![
+            rec(MS_PER_HOUR / 2, 0, EventType::Attach),         // 00h
+            rec(MS_PER_HOUR + 5, 0, EventType::ServiceRequest), // 01h
+            rec(25 * MS_PER_HOUR, 0, EventType::Tau),           // day 1, 01h
+        ]);
+        let h1 = t.filter_hour_of_day(HourOfDay(1));
+        assert_eq!(h1.len(), 2);
+        assert!(h1.iter().all(|r| r.t.hour_of_day() == HourOfDay(1)));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let t = Trace::from_records(vec![
+            rec(10, 0, EventType::Attach),
+            rec(20, 0, EventType::ServiceRequest),
+            rec(30, 0, EventType::Tau),
+        ]);
+        let w = t.window(Timestamp::from_millis(10), Timestamp::from_millis(30));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.start().unwrap().as_millis(), 10);
+        assert_eq!(w.end().unwrap().as_millis(), 20);
+    }
+
+    #[test]
+    fn shifting_preserves_order_and_gaps() {
+        let t = Trace::from_records(vec![
+            rec(100, 0, EventType::Attach),
+            rec(500, 1, EventType::Tau),
+        ]);
+        let fwd = t.shifted(1_000);
+        assert_eq!(fwd.start().unwrap().as_millis(), 1_100);
+        assert_eq!(fwd.end().unwrap().as_millis(), 1_500);
+        let back = fwd.shifted(-1_000);
+        assert_eq!(back, t);
+        // Negative shifts saturate at zero.
+        let clamped = t.shifted(-200);
+        assert_eq!(clamped.start().unwrap().as_millis(), 0);
+    }
+
+    #[test]
+    fn partition_ues_is_a_ue_level_split() {
+        let records: Vec<TraceRecord> = (0..200)
+            .map(|i| rec(u64::from(i) * 10, i % 40, EventType::Tau))
+            .collect();
+        let t = Trace::from_records(records);
+        let (a, b) = t.partition_ues(0.5, 7);
+        assert_eq!(a.len() + b.len(), t.len());
+        // No UE appears on both sides.
+        let ues_a: std::collections::HashSet<_> = a.ues().into_iter().collect();
+        for ue in b.ues() {
+            assert!(!ues_a.contains(&ue), "{ue} on both sides");
+        }
+        // Deterministic.
+        let (a2, _) = t.partition_ues(0.5, 7);
+        assert_eq!(a, a2);
+        // Extremes.
+        let (all, none) = t.partition_ues(1.0, 3);
+        assert_eq!(all.len(), t.len());
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn ues_dedups() {
+        let t = Trace::from_records(vec![
+            rec(10, 3, EventType::Attach),
+            rec(20, 1, EventType::Attach),
+            rec(30, 3, EventType::Tau),
+        ]);
+        assert_eq!(t.ues(), vec![UeId(1), UeId(3)]);
+    }
+}

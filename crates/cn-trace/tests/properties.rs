@@ -1,0 +1,88 @@
+//! Property-based tests for the trace substrate.
+
+use cn_trace::io;
+use cn_trace::{DeviceType, EventType, Timestamp, Trace, TraceRecord, UeId};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (0u64..1_000_000, 0u32..64, 0u8..3, 0u8..6).prop_map(|(t, ue, d, e)| {
+        TraceRecord::new(
+            Timestamp::from_millis(t),
+            UeId(ue),
+            DeviceType::from_code(d).unwrap(),
+            EventType::from_code(e).unwrap(),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_records_is_sorted(recs in prop::collection::vec(arb_record(), 0..200)) {
+        let t = Trace::from_records(recs);
+        let r = t.records();
+        prop_assert!(r.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merge_equals_concat_sort(
+        a in prop::collection::vec(arb_record(), 0..100),
+        b in prop::collection::vec(arb_record(), 0..100),
+        c in prop::collection::vec(arb_record(), 0..100),
+    ) {
+        let ta = Trace::from_records(a.clone());
+        let tb = Trace::from_records(b.clone());
+        let tc = Trace::from_records(c.clone());
+        let merged = Trace::merge(vec![ta, tb, tc]);
+        let mut all = a;
+        all.extend(b);
+        all.extend(c);
+        let expected = Trace::from_records(all);
+        prop_assert_eq!(merged.len(), expected.len());
+        // Same multiset in sorted order.
+        prop_assert_eq!(merged.records(), expected.records());
+    }
+
+    #[test]
+    fn binary_round_trip(recs in prop::collection::vec(arb_record(), 0..200)) {
+        let t = Trace::from_records(recs);
+        let bin = io::to_binary(&t);
+        let back = io::from_binary(&bin).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_round_trip(recs in prop::collection::vec(arb_record(), 0..100)) {
+        let t = Trace::from_records(recs);
+        let mut buf = Vec::new();
+        io::write_csv(&t, &mut buf).unwrap();
+        let back = io::read_csv(&buf[..]).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn per_ue_partitions_all_records(recs in prop::collection::vec(arb_record(), 0..200)) {
+        let t = Trace::from_records(recs);
+        let view = t.per_ue();
+        let total: usize = view.iter().map(|(_, evs)| evs.len()).sum();
+        prop_assert_eq!(total, t.len());
+        for (ue, evs) in view.iter() {
+            prop_assert!(evs.iter().all(|r| r.ue == ue));
+            prop_assert!(evs.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+    }
+
+    #[test]
+    fn window_contains_only_range(
+        recs in prop::collection::vec(arb_record(), 0..200),
+        lo in 0u64..500_000,
+        width in 0u64..500_000,
+    ) {
+        let t = Trace::from_records(recs);
+        let start = Timestamp::from_millis(lo);
+        let end = Timestamp::from_millis(lo + width);
+        let w = t.window(start, end);
+        prop_assert!(w.iter().all(|r| r.t >= start && r.t < end));
+        let expected = t.iter().filter(|r| r.t >= start && r.t < end).count();
+        prop_assert_eq!(w.len(), expected);
+    }
+}

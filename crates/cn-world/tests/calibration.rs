@@ -1,0 +1,82 @@
+//! Calibration diagnostics: how close is the simulated world's event
+//! breakdown to the paper's Table 1 shape?
+//!
+//! The shape requirements (these are asserted): SRV_REQ/S1_CONN_REL
+//! dominate (> 80% combined), releases ≥ requests, connected cars have the
+//! largest HO and TAU shares, ATCH/DTCH are small, and cars' ATCH share
+//! exceeds phones'. The `print_breakdown` test (ignored by default) dumps
+//! the full table for manual tuning:
+//! `cargo test -p cn-world --test calibration -- --ignored --nocapture`
+
+use cn_trace::{DeviceType, EventType, PopulationMix};
+use cn_world::{generate_world, WorldConfig};
+
+fn breakdown(days: f64, seed: u64) -> [[f64; 6]; 3] {
+    let config = WorldConfig::new(PopulationMix::new(120, 60, 40), days, seed);
+    let trace = generate_world(&config);
+    let mut counts = [[0usize; 6]; 3];
+    for r in trace.iter() {
+        counts[r.device.code() as usize][r.event.code() as usize] += 1;
+    }
+    let mut shares = [[0f64; 6]; 3];
+    for d in 0..3 {
+        let total: usize = counts[d].iter().sum();
+        for e in 0..6 {
+            shares[d][e] = counts[d][e] as f64 / total.max(1) as f64;
+        }
+    }
+    shares
+}
+
+#[test]
+fn breakdown_shape_matches_table1() {
+    let shares = breakdown(3.0, 2024);
+    let idx = |e: EventType| e.code() as usize;
+    for device in DeviceType::ALL {
+        let s = shares[device.code() as usize];
+        let dominant = s[idx(EventType::ServiceRequest)] + s[idx(EventType::S1ConnRelease)];
+        assert!(dominant > 0.75, "{device}: SRV+REL share {dominant}");
+        assert!(
+            s[idx(EventType::S1ConnRelease)] >= s[idx(EventType::ServiceRequest)] - 0.01,
+            "{device}: REL {} < SRV {}",
+            s[idx(EventType::S1ConnRelease)],
+            s[idx(EventType::ServiceRequest)]
+        );
+        assert!(s[idx(EventType::Attach)] < 0.05, "{device}: ATCH {}", s[idx(EventType::Attach)]);
+        assert!(s[idx(EventType::Detach)] < 0.07, "{device}: DTCH {}", s[idx(EventType::Detach)]);
+    }
+    let ho = |d: DeviceType| shares[d.code() as usize][idx(EventType::Handover)];
+    let tau = |d: DeviceType| shares[d.code() as usize][idx(EventType::Tau)];
+    assert!(ho(DeviceType::ConnectedCar) > ho(DeviceType::Phone), "car HO ≤ phone HO");
+    assert!(ho(DeviceType::Phone) > ho(DeviceType::Tablet), "phone HO ≤ tablet HO");
+    assert!(tau(DeviceType::ConnectedCar) > tau(DeviceType::Phone), "car TAU ≤ phone TAU");
+    assert!(
+        shares[DeviceType::ConnectedCar.code() as usize][idx(EventType::Attach)]
+            > shares[DeviceType::Phone.code() as usize][idx(EventType::Attach)],
+        "car ATCH ≤ phone ATCH"
+    );
+}
+
+#[test]
+#[ignore = "diagnostic table dump for manual calibration"]
+fn print_breakdown() {
+    let shares = breakdown(7.0, 2024);
+    println!("{:<14} {:>7} {:>7} {:>8} {:>12} {:>7} {:>7}", "device", "ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU");
+    for device in DeviceType::ALL {
+        let s = shares[device.code() as usize];
+        println!(
+            "{:<14} {:>6.1}% {:>6.1}% {:>7.1}% {:>11.1}% {:>6.1}% {:>6.1}%",
+            device.abbrev(),
+            s[0] * 100.0,
+            s[1] * 100.0,
+            s[2] * 100.0,
+            s[3] * 100.0,
+            s[4] * 100.0,
+            s[5] * 100.0
+        );
+    }
+    println!("paper Table 1:");
+    println!("P   0.1% 0.2% 45.5% 47.5% 3.8% 2.9%");
+    println!("CC  0.9% 0.9% 38.9% 45.2% 6.6% 7.4%");
+    println!("T   1.2% 1.1% 43.9% 47.7% 2.1% 4.0%");
+}

@@ -1,0 +1,53 @@
+//! Property-based tests for the ground-truth world simulator.
+
+use cn_statemachine::replay_ue;
+use cn_trace::{check_well_formed, PopulationMix};
+use cn_world::{generate_world, WorldConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = WorldConfig> {
+    (1u32..15, 0u32..8, 0u32..6, 1u64..10_000, 1u32..73).prop_map(
+        |(p, c, t, seed, hours)| {
+            WorldConfig::new(PopulationMix::new(p, c, t), f64::from(hours) / 24.0, seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every simulated world is structurally well-formed and every per-UE
+    /// stream walks the two-level machine without violations.
+    #[test]
+    fn worlds_are_conformant(config in arb_config()) {
+        let world = generate_world(&config);
+        prop_assert!(check_well_formed(&world).is_empty());
+        for (ue, events) in world.per_ue().iter() {
+            let out = replay_ue(events);
+            prop_assert!(
+                out.is_conformant(),
+                "{ue}: {:?}", out.violations.first()
+            );
+            // Per-UE strictly increasing timestamps.
+            prop_assert!(events.windows(2).all(|w| w[0].t < w[1].t));
+        }
+    }
+
+    /// Worlds stay within their horizon and their population layout.
+    #[test]
+    fn worlds_respect_horizon_and_layout(config in arb_config()) {
+        let world = generate_world(&config);
+        let horizon_ms = (config.days * 86_400_000.0) as u64;
+        for r in world.iter() {
+            prop_assert!(r.t.as_millis() < horizon_ms);
+            prop_assert!(r.ue.get() < config.mix.total());
+            prop_assert_eq!(r.device, config.device_of(r.ue.get()));
+        }
+    }
+
+    /// Simulation is a pure function of the configuration.
+    #[test]
+    fn worlds_are_deterministic(config in arb_config()) {
+        prop_assert_eq!(generate_world(&config), generate_world(&config));
+    }
+}

@@ -1,0 +1,69 @@
+//! The MCN consumer integration: generated traffic drives per-UE state and
+//! the queueing model with sensible load behavior.
+
+use cellular_cp_traffgen::prelude::*;
+
+fn busy_hour_trace(scale: f64, seed: u64) -> Trace {
+    let mix = PopulationMix::new(60, 25, 15);
+    let world = generate_world(&WorldConfig::new(mix, 2.0, 88));
+    let models = fit(&world, &FitConfig::new(Method::Ours));
+    let config = GenConfig::new(mix.scaled(scale), Timestamp::at_hour(0, 18), 1.0, seed);
+    generate(&models, &config)
+}
+
+#[test]
+fn conformant_traffic_means_zero_protocol_errors() {
+    let trace = busy_hour_trace(1.0, 1);
+    let report = Mme::new().run(&trace);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.processed, trace.len() as u64);
+    assert!(report.ues > 0);
+    assert!(report.peak_connected > 0);
+}
+
+#[test]
+fn more_workers_never_hurt_latency() {
+    let trace = busy_hour_trace(4.0, 2);
+    let profile = ServiceProfile::default_mme();
+    let mut last = f64::INFINITY;
+    for workers in [1usize, 2, 4] {
+        let report = QueueSim::new(profile, workers).run(&trace).expect("non-empty");
+        assert!(
+            report.p99_latency_ms <= last + 1e-9,
+            "workers {workers}: p99 {} worse than previous {last}",
+            report.p99_latency_ms
+        );
+        last = report.p99_latency_ms;
+    }
+}
+
+#[test]
+fn larger_population_raises_utilization() {
+    let profile = ServiceProfile::default_mme();
+    let small = QueueSim::new(profile, 2)
+        .run(&busy_hour_trace(1.0, 3))
+        .expect("non-empty");
+    let big = QueueSim::new(profile, 2)
+        .run(&busy_hour_trace(6.0, 3))
+        .expect("non-empty");
+    assert!(
+        big.utilization > small.utilization,
+        "utilization {} ≤ {}",
+        big.utilization,
+        small.utilization
+    );
+}
+
+#[test]
+fn mixed_streams_preserve_per_ue_order_for_the_mme() {
+    // Even after merging thousands of per-UE streams, the MME sees each
+    // UE's events in causal order (the trace is globally time-sorted and
+    // per-UE times are strictly increasing).
+    let trace = busy_hour_trace(2.0, 4);
+    let view = trace.per_ue();
+    for (_, events) in view.iter() {
+        for w in events.windows(2) {
+            assert!(w[0].t < w[1].t, "per-UE timestamps must strictly increase");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! The reproduction's regression gate: every EXPERIMENTS.md shape claim,
+//! machine-checked at quick scale (also available as `repro verdicts`).
+
+use cellular_cp_traffgen::eval::verdicts::verdicts;
+use cellular_cp_traffgen::eval::{ExperimentConfig, Lab};
+
+#[test]
+fn all_paper_shape_claims_hold() {
+    let lab = Lab::new(ExperimentConfig::quick());
+    let (table, all_pass) = verdicts(&lab);
+    assert!(all_pass, "\n{table}");
+}
