@@ -1,0 +1,73 @@
+//! The tracked generation benchmark: fixed 2K-UE × 6 h workload, recorded
+//! to `BENCH_gen.json`.
+//!
+//! Not criterion-gated — a plain binary so CI (or a curious human) can
+//! run it and diff the JSON against the previous PR's numbers:
+//!
+//! ```text
+//! cargo run --release -p bench --bin gen_bench [-- out.json]
+//! ```
+//!
+//! The workload is fixed (population, duration, seed, method), so
+//! `events` is identical run-to-run and across machines; only the timing
+//! columns move. The single-threaded sequential stream is measured first
+//! and recorded in the same file as `baseline_single_thread`, then the
+//! sharded parallel stream (one shard per core) produces the headline
+//! `events_per_sec` / `wall_ms` / `peak_rss_mb`.
+
+use bench::{bench_json, BenchPoint, run_sequential, run_sharded};
+use cn_fit::{fit, FitConfig, Method};
+use cn_gen::GenConfig;
+use cn_trace::{PopulationMix, Timestamp};
+use cn_world::{generate_world, WorldConfig};
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gen.json".to_string());
+
+    // Fit once at modest scale; generation cost, not fitting cost, is what
+    // this benchmark tracks.
+    eprintln!("fitting models ...");
+    let world = generate_world(&WorldConfig::new(PopulationMix::new(120, 50, 25), 2.0, 77));
+    let models = fit(&world, &FitConfig::new(Method::Ours));
+
+    // The fixed workload: 2,000 UEs (1250 phones / 500 cars / 250
+    // tablets) over 6 hours starting at 06:00, seed 2023.
+    let config = GenConfig::new(
+        PopulationMix::new(1250, 500, 250),
+        Timestamp::at_hour(0, 6),
+        6.0,
+        2023,
+    );
+
+    eprintln!("sequential baseline (1 thread) ...");
+    let baseline = BenchPoint::measure(|| run_sequential(&models, &config));
+    eprintln!(
+        "  {} events in {:.0} ms ({:.0} events/s)",
+        baseline.events, baseline.wall_ms, baseline.events_per_sec
+    );
+
+    let shards = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get);
+    eprintln!("sharded stream ({shards} shards) ...");
+    let sharded = BenchPoint::measure(|| run_sharded(&models, &config, shards));
+    eprintln!(
+        "  {} events in {:.0} ms ({:.0} events/s)",
+        sharded.events, sharded.wall_ms, sharded.events_per_sec
+    );
+
+    // The parallel stream must be a drop-in: same workload, same events.
+    assert_eq!(
+        baseline.events, sharded.events,
+        "sharded stream event count diverged from the sequential baseline"
+    );
+
+    let json = bench_json(
+        "2000 UEs x 6h, Method::Ours, seed 2023",
+        shards,
+        baseline,
+        sharded,
+    );
+    std::fs::write(&out, &json).expect("write bench json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+}

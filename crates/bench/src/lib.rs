@@ -1,1 +1,127 @@
-//! Shared helpers for the benchmark harness live in the bench files themselves.
+//! Shared measurement plumbing for the benchmark harness.
+//!
+//! The criterion benches under `benches/` cover micro-level hot paths;
+//! this library backs the *tracked* macro benchmark `gen_bench`
+//! (`src/bin/gen_bench.rs`), which generates a fixed 2K-UE × 6 h workload
+//! and records `{events_per_sec, peak_rss_mb, wall_ms}` — plus the
+//! single-threaded baseline measured in the same run — to
+//! `BENCH_gen.json`, so the generator's performance trajectory is visible
+//! PR over PR. A tiny-population smoke of the same code path runs under
+//! `cargo test` (see `tests/gen_smoke.rs`), so a broken pipeline fails
+//! tier-1 rather than only surfacing at bench time.
+
+use cn_fit::ModelSet;
+use cn_gen::{GenConfig, PopulationStream, ShardedStream};
+use std::time::Instant;
+
+/// One measured generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchPoint {
+    /// Events produced.
+    pub events: u64,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Throughput in events per second.
+    pub events_per_sec: f64,
+}
+
+impl BenchPoint {
+    /// Time `run` (which reports how many events it produced).
+    pub fn measure<F: FnOnce() -> u64>(run: F) -> BenchPoint {
+        let t0 = Instant::now();
+        let events = run();
+        let secs = t0.elapsed().as_secs_f64();
+        BenchPoint {
+            events,
+            wall_ms: secs * 1e3,
+            events_per_sec: if secs > 0.0 { events as f64 / secs } else { 0.0 },
+        }
+    }
+}
+
+/// Peak resident set size of this process in MiB (Linux `VmHWM`), `None`
+/// where `/proc` is unavailable.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Drain the sequential population stream — the single-threaded baseline
+/// every `BENCH_gen.json` records alongside the parallel result.
+pub fn run_sequential(models: &ModelSet, config: &GenConfig) -> u64 {
+    PopulationStream::new(models, config).count() as u64
+}
+
+/// Drain the sharded parallel stream.
+pub fn run_sharded(models: &ModelSet, config: &GenConfig, shards: usize) -> u64 {
+    ShardedStream::with_shards(models, config, shards).count() as u64
+}
+
+/// Render the `BENCH_gen.json` payload. Hand-rolled with a stable key
+/// order so diffs between recorded runs stay readable; the headline keys
+/// (`events_per_sec`, `peak_rss_mb`, `wall_ms`) describe the parallel
+/// sharded run, with the same-run single-threaded baseline nested beside
+/// them.
+pub fn bench_json(
+    workload: &str,
+    shards: usize,
+    baseline: BenchPoint,
+    sharded: BenchPoint,
+) -> String {
+    let rss = peak_rss_mb().unwrap_or(0.0);
+    let speedup = if baseline.events_per_sec > 0.0 {
+        sharded.events_per_sec / baseline.events_per_sec
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"workload\": \"{workload}\",\n  \"events_per_sec\": {eps:.1},\n  \"peak_rss_mb\": {rss:.1},\n  \"wall_ms\": {wall:.1},\n  \"shards\": {shards},\n  \"events\": {events},\n  \"baseline_single_thread\": {{\n    \"events_per_sec\": {beps:.1},\n    \"wall_ms\": {bwall:.1},\n    \"events\": {bevents}\n  }},\n  \"speedup_vs_baseline\": {speedup:.2}\n}}\n",
+        eps = sharded.events_per_sec,
+        wall = sharded.wall_ms,
+        events = sharded.events,
+        beps = baseline.events_per_sec,
+        bwall = baseline.wall_ms,
+        bevents = baseline.events,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_and_times() {
+        let p = BenchPoint::measure(|| 42);
+        assert_eq!(p.events, 42);
+        assert!(p.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_mb().expect("VmHWM present on Linux");
+            assert!(rss > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_has_the_tracked_keys() {
+        let b = BenchPoint { events: 10, wall_ms: 2.0, events_per_sec: 5_000.0 };
+        let s = BenchPoint { events: 10, wall_ms: 1.0, events_per_sec: 10_000.0 };
+        let json = bench_json("test", 4, b, s);
+        for key in [
+            "\"workload\"",
+            "\"events_per_sec\"",
+            "\"peak_rss_mb\"",
+            "\"wall_ms\"",
+            "\"shards\"",
+            "\"baseline_single_thread\"",
+            "\"speedup_vs_baseline\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"speedup_vs_baseline\": 2.00"));
+    }
+}

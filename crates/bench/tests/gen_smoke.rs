@@ -1,0 +1,35 @@
+//! Tier-1 smoke of the tracked generation benchmark: a tiny population
+//! through the exact code path `gen_bench` measures, so a regression in
+//! the streaming pipeline (or the bench plumbing itself) breaks
+//! `cargo test` instead of silently corrupting the recorded trajectory.
+
+use bench::{bench_json, BenchPoint, run_sequential, run_sharded};
+use cn_fit::{fit, FitConfig, Method};
+use cn_gen::{generate, GenConfig};
+use cn_trace::{PopulationMix, Timestamp};
+use cn_world::{generate_world, WorldConfig};
+
+#[test]
+fn bench_pipeline_smoke() {
+    let world = generate_world(&WorldConfig::new(PopulationMix::new(20, 8, 5), 1.0, 3));
+    let models = fit(&world, &FitConfig::new(Method::Ours));
+    let config = GenConfig::new(
+        PopulationMix::new(20, 8, 5),
+        Timestamp::at_hour(0, 10),
+        1.0,
+        11,
+    );
+
+    let batch_events = generate(&models, &config).len() as u64;
+    let baseline = BenchPoint::measure(|| run_sequential(&models, &config));
+    let sharded = BenchPoint::measure(|| run_sharded(&models, &config, 3));
+
+    assert!(baseline.events > 0, "smoke workload produced no events");
+    assert_eq!(baseline.events, batch_events, "stream vs batch event count");
+    assert_eq!(baseline.events, sharded.events, "sequential vs sharded event count");
+
+    let json = bench_json("smoke", 3, baseline, sharded);
+    for key in ["events_per_sec", "peak_rss_mb", "wall_ms", "baseline_single_thread"] {
+        assert!(json.contains(key), "bench json missing {key}: {json}");
+    }
+}

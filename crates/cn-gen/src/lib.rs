@@ -22,14 +22,25 @@
 //! was entered; a state with no observed departures in that hour retries
 //! with each subsequent hour's model. Per-UE event times are strictly
 //! increasing; UE streams are merged into one sorted population trace.
+//!
+//! Three synthesis surfaces share those per-UE generators and produce
+//! byte-identical traces for the same [`GenConfig`]:
+//!
+//! * [`generate`] — materialize the whole trace (parallel batch);
+//! * [`PopulationStream`] — sequential bounded-memory streaming via a
+//!   loser-tree k-way merge;
+//! * [`ShardedStream`] — multi-core streaming: disjoint UE shards on
+//!   worker threads, bounded block channels, and a final S-way merge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod per_ue;
+pub mod shard;
 pub mod stream;
 
 pub use engine::{generate, GenConfig, HourSemantics};
 pub use per_ue::{generate_ue, UeEventIter};
+pub use shard::ShardedStream;
 pub use stream::PopulationStream;

@@ -279,12 +279,16 @@ impl<'m> UeEventIter<'m> {
         }
     }
 
+    /// Sample the next HO/TAU inter-arrival fire time. Draws through a
+    /// borrowed distribution — an empirical law here holds its full sample
+    /// vector, and this is called once per overlay event, so cloning it
+    /// would put a heap allocation + memcpy on the hot path.
     fn sample_gap(&mut self, ho: bool, base: f64) -> Option<f64> {
         let model = self.model_at(base);
         let dist = if ho {
-            model.ho_interarrival.clone()
+            model.ho_interarrival.as_ref()
         } else {
-            model.tau_interarrival.clone()
+            model.tau_interarrival.as_ref()
         };
         let pending = dist.map(|d| ((), base + d.sample(&mut self.rng).max(0.0)));
         self.truncate(base, pending).map(|((), fire)| fire)

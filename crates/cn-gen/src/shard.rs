@@ -1,0 +1,288 @@
+//! Parallel sharded population streaming.
+//!
+//! [`ShardedStream`] is the multi-core counterpart of
+//! [`crate::stream::PopulationStream`]: the population is partitioned into
+//! `S` disjoint UE shards (striped — UE `i` belongs to shard `i mod S` —
+//! so the device-type mix, and with it the per-UE event rate, balances
+//! across workers). Each shard runs on its own worker thread, merging its
+//! live [`UeEventIter`]s with a [`LoserTree`] into a time-sorted run that
+//! is shipped to the consumer as fixed-size record blocks over a bounded
+//! SPSC channel. The consumer performs the final S-way merge — again a
+//! loser tree, replace-top only — over the shard runs.
+//!
+//! ### Determinism
+//!
+//! The output is **byte-identical** to the sequential stream and to the
+//! batch engine, for any shard count:
+//!
+//! * every UE's stream is a pure function of `(seed, ue)` — the shard a UE
+//!   lands on does not touch its RNG;
+//! * record order is a strict total order (time, then UE, then event; a
+//!   UE's own events have strictly increasing timestamps), so the globally
+//!   sorted sequence is unique — *any* correct merge tree yields it;
+//! * each shard run is a sorted subsequence of that global sequence, and
+//!   the consumer-side merge restores it exactly.
+//!
+//! ### Backpressure & memory
+//!
+//! Workers block once their channel holds [`CHANNEL_BLOCKS`] undelivered
+//! blocks, so a slow consumer (e.g. a disk writer) bounds the pipeline at
+//! `S × CHANNEL_BLOCKS × BLOCK_RECORDS` buffered records plus the
+//! O(population) generator states — independent of trace length.
+//!
+//! Deadlock freedom holds because every shard has a *dedicated* worker:
+//! the consumer only ever blocks on the one channel whose run it needs
+//! next, and that channel's producer never waits on anything but the same
+//! channel's free space.
+
+use crate::engine::{ue_stream_seed, GenConfig};
+use crate::per_ue::UeEventIter;
+use cn_fit::ModelSet;
+use cn_trace::{LoserTree, TraceRecord, UeId};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Records per channel block (~64 KiB of `TraceRecord`s: large enough to
+/// amortize channel synchronization, small enough to keep the pipeline
+/// responsive).
+pub const BLOCK_RECORDS: usize = 4096;
+
+/// Blocks buffered per shard channel before its worker blocks.
+pub const CHANNEL_BLOCKS: usize = 4;
+
+/// One shard's endpoint on the consumer side: the receive handle plus a
+/// cursor over the block currently being drained.
+struct ShardCursor {
+    rx: Receiver<Vec<TraceRecord>>,
+    block: Vec<TraceRecord>,
+    pos: usize,
+}
+
+impl ShardCursor {
+    /// Next record of this shard's run, blocking on the channel when the
+    /// current block is exhausted; `None` once the worker has finished and
+    /// every block is drained.
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        loop {
+            if let Some(&rec) = self.block.get(self.pos) {
+                self.pos += 1;
+                return Some(rec);
+            }
+            match self.rx.recv() {
+                Ok(block) => {
+                    self.block = block;
+                    self.pos = 0;
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+/// A globally time-ordered population event stream produced by parallel
+/// shard workers (see module docs).
+///
+/// ```no_run
+/// use cn_gen::{GenConfig, ShardedStream};
+/// # let models: cn_fit::ModelSet = unimplemented!();
+/// # let config: GenConfig = unimplemented!();
+/// for record in ShardedStream::new(&models, &config) {
+///     // identical records, identical order, S cores at work
+///     let _ = record;
+/// }
+/// ```
+pub struct ShardedStream {
+    shards: Vec<ShardCursor>,
+    tree: LoserTree<TraceRecord>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedStream {
+    /// Stream `config`'s population with one shard per configured thread
+    /// (`config.threads`, `0` = all cores). Clones the model set once so
+    /// worker threads can outlive the caller's borrow.
+    pub fn new(models: &ModelSet, config: &GenConfig) -> ShardedStream {
+        let shards = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        } else {
+            config.threads
+        };
+        Self::with_shards(models, config, shards)
+    }
+
+    /// As [`ShardedStream::new`] with an explicit shard count.
+    pub fn with_shards(models: &ModelSet, config: &GenConfig, shards: usize) -> ShardedStream {
+        Self::with_arc(Arc::new(models.clone()), config, shards)
+    }
+
+    /// As [`ShardedStream::with_shards`] without the model clone, for
+    /// callers that already hold the model set in an [`Arc`].
+    pub fn with_arc(models: Arc<ModelSet>, config: &GenConfig, shards: usize) -> ShardedStream {
+        let config = *config;
+        let shards = shards.clamp(1, (config.population.total() as usize).max(1));
+        let mut cursors = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = sync_channel(CHANNEL_BLOCKS);
+            let models = Arc::clone(&models);
+            let handle = std::thread::Builder::new()
+                .name(format!("cn-gen-shard-{shard}"))
+                .spawn(move || shard_worker(&models, &config, shard, shards, &tx))
+                .expect("spawn shard worker");
+            workers.push(handle);
+            cursors.push(ShardCursor { rx, block: Vec::new(), pos: 0 });
+        }
+        let heads: Vec<Option<TraceRecord>> =
+            cursors.iter_mut().map(ShardCursor::next_record).collect();
+        ShardedStream { shards: cursors, tree: LoserTree::new(heads), workers }
+    }
+
+    /// Number of shards that still have records pending.
+    pub fn live_shards(&self) -> usize {
+        self.tree.live()
+    }
+}
+
+impl Iterator for ShardedStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let w = self.tree.winner()?;
+        let next = self.shards[w].next_record();
+        self.tree.pop_and_replace(next)
+    }
+}
+
+impl Drop for ShardedStream {
+    fn drop(&mut self) {
+        // Dropping the receivers fails any blocked worker send, so workers
+        // wind down promptly even when the stream is abandoned mid-run.
+        self.shards.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker body: merge this shard's UE streams into a sorted run and ship
+/// it as blocks. Returning early on a failed send is the cancellation
+/// path (the consumer hung up).
+fn shard_worker(
+    models: &ModelSet,
+    config: &GenConfig,
+    shard: usize,
+    shards: usize,
+    tx: &SyncSender<Vec<TraceRecord>>,
+) {
+    let end = config.end();
+    let total = config.population.total();
+    let mut generators: Vec<UeEventIter<'_>> = (shard as u32..total)
+        .step_by(shards)
+        .map(|index| {
+            let device = config.device_of(index);
+            UeEventIter::with_semantics(
+                models.device(device),
+                models.method,
+                UeId(index),
+                config.start,
+                end,
+                ue_stream_seed(config.seed, index),
+                config.semantics,
+            )
+        })
+        .collect();
+    let heads: Vec<Option<TraceRecord>> = generators.iter_mut().map(Iterator::next).collect();
+    let mut tree = LoserTree::new(heads);
+    let mut block = Vec::with_capacity(BLOCK_RECORDS);
+    while let Some(w) = tree.winner() {
+        let next = generators[w].next();
+        let rec = tree.pop_and_replace(next).expect("winner has a head");
+        block.push(rec);
+        if block.len() == BLOCK_RECORDS {
+            let full = std::mem::replace(&mut block, Vec::with_capacity(BLOCK_RECORDS));
+            if tx.send(full).is_err() {
+                return;
+            }
+        }
+    }
+    if !block.is_empty() {
+        let _ = tx.send(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::PopulationStream;
+    use cn_fit::{fit, FitConfig, Method};
+    use cn_trace::{PopulationMix, Timestamp, Trace};
+    use cn_world::{generate_world, WorldConfig};
+
+    fn fitted() -> ModelSet {
+        let trace = generate_world(&WorldConfig::new(PopulationMix::new(24, 10, 6), 2.0, 5));
+        fit(&trace, &FitConfig::new(Method::Ours))
+    }
+
+    fn config() -> GenConfig {
+        GenConfig::new(PopulationMix::new(18, 8, 5), Timestamp::at_hour(0, 9), 2.0, 7)
+    }
+
+    #[test]
+    fn sharded_equals_sequential_for_any_shard_count() {
+        let models = fitted();
+        let config = config();
+        let sequential: Trace = PopulationStream::new(&models, &config).collect();
+        for shards in [1usize, 2, 5, 31, 64] {
+            let sharded: Trace = ShardedStream::with_shards(&models, &config, shards).collect();
+            assert_eq!(sharded, sequential, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn shard_count_exceeding_population_is_clamped() {
+        let models = fitted();
+        let config = config();
+        // 31 UEs, 64 requested shards: must still stream every record.
+        let stream = ShardedStream::with_shards(&models, &config, 64);
+        let n = stream.count();
+        let expected = PopulationStream::new(&models, &config).count();
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn empty_population_streams_nothing() {
+        let models = fitted();
+        let config = GenConfig::new(
+            PopulationMix::new(0, 0, 0),
+            Timestamp::at_hour(0, 0),
+            1.0,
+            1,
+        );
+        assert_eq!(ShardedStream::with_shards(&models, &config, 4).count(), 0);
+    }
+
+    #[test]
+    fn abandoning_the_stream_mid_run_terminates_workers() {
+        let models = fitted();
+        let mut config = config();
+        config.duration_hours = 6.0;
+        let mut stream = ShardedStream::with_shards(&models, &config, 3);
+        for _ in 0..10 {
+            if stream.next().is_none() {
+                break;
+            }
+        }
+        drop(stream); // must not hang: Drop disconnects and joins workers
+    }
+
+    #[test]
+    fn live_shards_drains_to_zero() {
+        let models = fitted();
+        let config = config();
+        let mut stream = ShardedStream::with_shards(&models, &config, 3);
+        assert!(stream.live_shards() <= 3);
+        for _ in stream.by_ref() {}
+        assert_eq!(stream.live_shards(), 0);
+    }
+}

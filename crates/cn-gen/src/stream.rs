@@ -6,6 +6,13 @@
 //! O(total events): a week of 380K UEs (hundreds of millions of events)
 //! can be written straight to disk without ever materializing the trace.
 //!
+//! The merge engine is a [`LoserTree`] (tournament tree): emitting one
+//! record costs a single replace-top pass of ⌈log₂K⌉ comparisons and no
+//! allocation, instead of a binary-heap pop *and* push. For multi-core
+//! throughput see [`crate::shard::ShardedStream`], which runs disjoint
+//! UE shards on worker threads and produces the *same* byte-identical
+//! stream.
+//!
 //! Streamed output is *per-UE* identical to the batch API (both drive the
 //! same iterator with the same seed), and globally it is the k-way merge
 //! of those per-UE streams — i.e. exactly [`crate::generate`]'s output
@@ -14,13 +21,11 @@
 use crate::engine::GenConfig;
 use crate::per_ue::UeEventIter;
 use cn_fit::ModelSet;
-use cn_trace::{TraceRecord, UeId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use cn_trace::{LoserTree, TraceRecord, UeId};
 
 /// A time-ordered event stream over a whole synthesized population.
 pub struct PopulationStream<'m> {
-    heap: BinaryHeap<Reverse<(TraceRecord, usize)>>,
+    tree: LoserTree<TraceRecord>,
     generators: Vec<UeEventIter<'m>>,
 }
 
@@ -43,18 +48,14 @@ impl<'m> PopulationStream<'m> {
                 )
             })
             .collect();
-        let mut heap = BinaryHeap::with_capacity(generators.len());
-        for (i, g) in generators.iter_mut().enumerate() {
-            if let Some(rec) = g.next() {
-                heap.push(Reverse((rec, i)));
-            }
-        }
-        PopulationStream { heap, generators }
+        let heads: Vec<Option<TraceRecord>> =
+            generators.iter_mut().map(Iterator::next).collect();
+        PopulationStream { tree: LoserTree::new(heads), generators }
     }
 
     /// Number of UEs that still have events pending.
     pub fn live_ues(&self) -> usize {
-        self.heap.len()
+        self.tree.live()
     }
 }
 
@@ -62,39 +63,66 @@ impl Iterator for PopulationStream<'_> {
     type Item = TraceRecord;
 
     fn next(&mut self) -> Option<TraceRecord> {
-        let Reverse((rec, i)) = self.heap.pop()?;
-        if let Some(next) = self.generators[i].next() {
-            self.heap.push(Reverse((next, i)));
-        }
-        Some(rec)
+        let w = self.tree.winner()?;
+        let next = self.generators[w].next();
+        self.tree.pop_and_replace(next)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::HourSemantics;
     use crate::generate;
+    use crate::shard::ShardedStream;
     use cn_fit::{fit, FitConfig, Method};
     use cn_trace::{PopulationMix, Timestamp, Trace};
     use cn_world::{generate_world, WorldConfig};
 
-    fn fitted() -> ModelSet {
+    fn fitted_with(method: Method) -> ModelSet {
         let trace = generate_world(&WorldConfig::new(PopulationMix::new(30, 14, 8), 2.0, 5));
-        fit(&trace, &FitConfig::new(Method::Ours))
+        fit(&trace, &FitConfig::new(method))
     }
 
+    fn fitted() -> ModelSet {
+        fitted_with(Method::Ours)
+    }
+
+    /// The determinism matrix: for every hour semantics (and both state-
+    /// machine families), the sequential stream, the batch engine at 1 and
+    /// 4 threads, and the sharded parallel stream at 1, 3, and 8 shards
+    /// must all produce bit-identical traces.
     #[test]
     fn stream_equals_batch_generation() {
-        let models = fitted();
-        let config = GenConfig::new(
-            PopulationMix::new(30, 14, 8),
-            Timestamp::at_hour(0, 16),
-            3.0,
-            41,
-        );
-        let batch = generate(&models, &config);
-        let streamed: Trace = PopulationStream::new(&models, &config).collect();
-        assert_eq!(batch, streamed);
+        for method in [Method::Ours, Method::Base] {
+            let models = fitted_with(method);
+            for semantics in [HourSemantics::EntryHour, HourSemantics::TruncateAtBoundary] {
+                let mut config = GenConfig::new(
+                    PopulationMix::new(30, 14, 8),
+                    Timestamp::at_hour(0, 16),
+                    3.0,
+                    41,
+                );
+                config.semantics = semantics;
+                let sequential: Trace = PopulationStream::new(&models, &config).collect();
+                for threads in [1usize, 4] {
+                    config.threads = threads;
+                    let batch = generate(&models, &config);
+                    assert_eq!(
+                        batch, sequential,
+                        "{method:?}/{semantics:?}: batch with {threads} threads diverged"
+                    );
+                }
+                for shards in [1usize, 3, 8] {
+                    let sharded: Trace =
+                        ShardedStream::with_shards(&models, &config, shards).collect();
+                    assert_eq!(
+                        sharded, sequential,
+                        "{method:?}/{semantics:?}: {shards}-shard stream diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

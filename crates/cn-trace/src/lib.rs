@@ -23,6 +23,7 @@
 pub mod device;
 pub mod event;
 pub mod io;
+pub mod merge;
 pub mod record;
 pub mod relabel;
 pub mod series;
@@ -33,6 +34,7 @@ pub mod validate;
 
 pub use device::{DeviceType, PopulationMix};
 pub use event::{EventCategory, EventType};
+pub use merge::LoserTree;
 pub use record::{TraceRecord, UeId};
 pub use time::{HourOfDay, Timestamp, MS_PER_DAY, MS_PER_HOUR, MS_PER_SEC};
 pub use summary::TraceSummary;

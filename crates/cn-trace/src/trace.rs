@@ -7,10 +7,9 @@
 //! generated per-UE streams into one population trace.
 
 use crate::device::DeviceType;
+use crate::merge::LoserTree;
 use crate::record::{TraceRecord, UeId};
 use crate::time::{HourOfDay, Timestamp};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A time-sorted sequence of control-plane events.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -144,23 +143,60 @@ impl Trace {
     /// Merge any number of sorted traces into one sorted trace (k-way merge).
     ///
     /// Used to combine independently generated per-UE event streams into the
-    /// population-level trace (§7).
+    /// population-level trace (§7). Zero or one non-empty input returns
+    /// without any merge machinery, two inputs take a straight two-pointer
+    /// merge, and three or more run through a [`LoserTree`] (one replace-top
+    /// pass — ⌈log₂k⌉ comparisons — per emitted record instead of a heap
+    /// pop *and* push). Ties between traces resolve toward the earlier
+    /// input, so the merge is stable and deterministic.
     pub fn merge(traces: Vec<Trace>) -> Trace {
-        let total: usize = traces.iter().map(Trace::len).sum();
-        let mut out = Vec::with_capacity(total);
-        // Heap of (next record, trace index, cursor), ordered by record.
-        let mut heap: BinaryHeap<Reverse<(TraceRecord, usize, usize)>> = traces
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.records.first().map(|&r| Reverse((r, i, 0))))
-            .collect();
-        while let Some(Reverse((rec, ti, cursor))) = heap.pop() {
-            out.push(rec);
-            let next = cursor + 1;
-            if let Some(&r) = traces[ti].records.get(next) {
-                heap.push(Reverse((r, ti, next)));
+        for t in &traces {
+            debug_assert!(
+                t.records.windows(2).all(|w| w[0] <= w[1]),
+                "Trace::merge input must be sorted"
+            );
+        }
+        let mut traces: Vec<Trace> = traces.into_iter().filter(|t| !t.is_empty()).collect();
+        match traces.len() {
+            0 => Trace::new(),
+            1 => traces.pop().expect("one trace"),
+            2 => {
+                let b = traces.pop().expect("two traces");
+                let a = traces.pop().expect("two traces");
+                Trace::merge_two(a, b)
+            }
+            _ => {
+                let total: usize = traces.iter().map(Trace::len).sum();
+                let mut out = Vec::with_capacity(total);
+                let mut cursors = vec![1usize; traces.len()];
+                let mut tree =
+                    LoserTree::new(traces.iter().map(|t| t.records.first().copied()).collect());
+                while let Some(w) = tree.winner() {
+                    let next = traces[w].records.get(cursors[w]).copied();
+                    cursors[w] += 1;
+                    out.push(tree.pop_and_replace(next).expect("winner has a head"));
+                }
+                Trace { records: out }
             }
         }
+    }
+
+    /// Two-pointer merge of two sorted traces (ties prefer `a`).
+    fn merge_two(a: Trace, b: Trace) -> Trace {
+        let (ra, rb) = (a.records, b.records);
+        let mut out = Vec::with_capacity(ra.len() + rb.len());
+        let (mut i, mut j) = (0, 0);
+        while i < ra.len() && j < rb.len() {
+            if rb[j] < ra[i] {
+                out.push(rb[j]);
+                j += 1;
+            } else {
+                out.push(ra[i]);
+                i += 1;
+            }
+        }
+        out.extend_from_slice(&ra[i..]);
+        out.extend_from_slice(&rb[j..]);
         Trace { records: out }
     }
 
@@ -327,6 +363,47 @@ mod tests {
     fn merge_of_nothing_is_empty() {
         assert!(Trace::merge(vec![]).is_empty());
         assert!(Trace::merge(vec![Trace::new(), Trace::new()]).is_empty());
+    }
+
+    #[test]
+    fn merge_of_one_is_identity() {
+        let a = Trace::from_records(vec![rec(10, 0, EventType::Attach), rec(30, 0, EventType::Tau)]);
+        assert_eq!(Trace::merge(vec![a.clone()]), a);
+        // Empty companions don't disturb the single-input fast path.
+        assert_eq!(Trace::merge(vec![Trace::new(), a.clone(), Trace::new()]), a);
+    }
+
+    #[test]
+    fn merge_two_handles_ties_and_tails() {
+        let a = Trace::from_records(vec![
+            rec(10, 0, EventType::Attach),
+            rec(20, 0, EventType::Tau),
+            rec(90, 0, EventType::Detach),
+        ]);
+        let b = Trace::from_records(vec![rec(10, 1, EventType::Attach), rec(20, 1, EventType::Tau)]);
+        let m = Trace::merge(vec![a.clone(), b.clone()]);
+        assert_eq!(m.len(), 5);
+        let mut expect: Vec<TraceRecord> =
+            a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        assert_eq!(m.records(), expect.as_slice());
+    }
+
+    #[test]
+    fn many_way_merge_equals_global_sort() {
+        // 7 runs (non-power-of-two) of interleaved times.
+        let runs: Vec<Trace> = (0..7u32)
+            .map(|i| {
+                Trace::from_records(
+                    (0..10u64).map(|j| rec(j * 7 + u64::from(i), i, EventType::Tau)).collect(),
+                )
+            })
+            .collect();
+        let merged = Trace::merge(runs.clone());
+        let mut expect: Vec<TraceRecord> =
+            runs.iter().flat_map(|t| t.iter().copied()).collect();
+        expect.sort_unstable();
+        assert_eq!(merged.records(), expect.as_slice());
     }
 
     #[test]

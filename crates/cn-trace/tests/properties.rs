@@ -43,6 +43,52 @@ proptest! {
     }
 
     #[test]
+    fn loser_tree_merge_equals_sort(
+        runs in prop::collection::vec(prop::collection::vec(0u64..200, 0..25), 0..10),
+    ) {
+        // Randomized pre-sorted runs — including empty and single-record
+        // runs — merged by the loser tree must equal a global sort.
+        let sorted: Vec<Vec<u64>> = runs
+            .into_iter()
+            .map(|mut r| {
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let merged = cn_trace::merge::merge_sorted(&sorted);
+        let mut expect: Vec<u64> = sorted.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn merge_matrix_over_input_counts(
+        recs in prop::collection::vec(arb_record(), 0..120),
+        k in 1usize..6,
+    ) {
+        // Round-robin the records into k sorted traces; every merge arity
+        // (0/1 fast path, two-pointer, loser tree) must agree with one
+        // global sort. Tie the device to the UE so records that compare
+        // equal (ordering ignores device) are fully identical — otherwise
+        // two valid sorted orders could differ on the device column.
+        let recs: Vec<TraceRecord> = recs
+            .iter()
+            .map(|r| {
+                let device = DeviceType::from_code((r.ue.get() % 3) as u8).unwrap();
+                TraceRecord::new(r.t, r.ue, device, r.event)
+            })
+            .collect();
+        let mut parts: Vec<Vec<TraceRecord>> = vec![Vec::new(); k];
+        for (i, r) in recs.iter().enumerate() {
+            parts[i % k].push(*r);
+        }
+        let traces: Vec<Trace> = parts.into_iter().map(Trace::from_records).collect();
+        let merged = Trace::merge(traces);
+        let expected = Trace::from_records(recs);
+        prop_assert_eq!(merged.records(), expected.records());
+    }
+
+    #[test]
     fn binary_round_trip(recs in prop::collection::vec(arb_record(), 0..200)) {
         let t = Trace::from_records(recs);
         let bin = io::to_binary(&t);
