@@ -22,9 +22,7 @@ use std::sync::OnceLock;
 
 fn small_world() -> &'static Trace {
     static WORLD: OnceLock<Trace> = OnceLock::new();
-    WORLD.get_or_init(|| {
-        generate_world(&WorldConfig::new(PopulationMix::new(60, 25, 15), 2.0, 7))
-    })
+    WORLD.get_or_init(|| generate_world(&WorldConfig::new(PopulationMix::new(60, 25, 15), 2.0, 7)))
 }
 
 fn fitted_models() -> &'static cn_fit::ModelSet {
@@ -97,7 +95,9 @@ fn bench_replay(c: &mut Criterion) {
 
 fn bench_stats(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let samples: Vec<f64> = (0..2_000).map(|_| rng.gen::<f64>() * 100.0 + 0.01).collect();
+    let samples: Vec<f64> = (0..2_000)
+        .map(|_| rng.gen::<f64>() * 100.0 + 0.01)
+        .collect();
     let mut group = c.benchmark_group("statistics");
     for family in Family::PAPER_TABLE {
         group.bench_function(BenchmarkId::new("mle_fit", family.name()), |b| {
@@ -119,7 +119,10 @@ fn bench_clustering(c: &mut Criterion) {
     let features: Vec<Vec<f64>> = (0..5_000)
         .map(|_| (0..4).map(|_| rng.gen::<f64>() * 150.0).collect())
         .collect();
-    let params = ClusteringParams { theta_n: 100, ..ClusteringParams::default() };
+    let params = ClusteringParams {
+        theta_n: 100,
+        ..ClusteringParams::default()
+    };
     let mut group = c.benchmark_group("clustering");
     group.throughput(Throughput::Elements(features.len() as u64));
     group.bench_function("quadtree_5k_ues", |b| {

@@ -132,5 +132,12 @@ fn bench_fiveg(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(tables, bench_tables, bench_suites, bench_extensions, bench_ablations, bench_fiveg);
+criterion_group!(
+    tables,
+    bench_tables,
+    bench_suites,
+    bench_extensions,
+    bench_ablations,
+    bench_fiveg
+);
 criterion_main!(tables);

@@ -15,14 +15,16 @@
 //! sharded parallel stream (one shard per core) produces the headline
 //! `events_per_sec` / `wall_ms` / `peak_rss_mb`.
 
-use bench::{bench_json, BenchPoint, run_sequential, run_sharded};
+use bench::{bench_json, run_sequential, run_sharded, BenchPoint};
 use cn_fit::{fit, FitConfig, Method};
 use cn_gen::GenConfig;
 use cn_trace::{PopulationMix, Timestamp};
 use cn_world::{generate_world, WorldConfig};
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_gen.json".to_string());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gen.json".to_string());
 
     // Fit once at modest scale; generation cost, not fitting cost, is what
     // this benchmark tracks.
@@ -46,8 +48,7 @@ fn main() {
         baseline.events, baseline.wall_ms, baseline.events_per_sec
     );
 
-    let shards = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZeroUsize::get);
+    let shards = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
     eprintln!("sharded stream ({shards} shards) ...");
     let sharded = BenchPoint::measure(|| run_sharded(&models, &config, shards));
     eprintln!(

@@ -34,7 +34,11 @@ impl BenchPoint {
         BenchPoint {
             events,
             wall_ms: secs * 1e3,
-            events_per_sec: if secs > 0.0 { events as f64 / secs } else { 0.0 },
+            events_per_sec: if secs > 0.0 {
+                events as f64 / secs
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -108,8 +112,16 @@ mod tests {
 
     #[test]
     fn json_has_the_tracked_keys() {
-        let b = BenchPoint { events: 10, wall_ms: 2.0, events_per_sec: 5_000.0 };
-        let s = BenchPoint { events: 10, wall_ms: 1.0, events_per_sec: 10_000.0 };
+        let b = BenchPoint {
+            events: 10,
+            wall_ms: 2.0,
+            events_per_sec: 5_000.0,
+        };
+        let s = BenchPoint {
+            events: 10,
+            wall_ms: 1.0,
+            events_per_sec: 10_000.0,
+        };
         let json = bench_json("test", 4, b, s);
         for key in [
             "\"workload\"",

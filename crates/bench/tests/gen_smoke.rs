@@ -3,7 +3,7 @@
 //! the streaming pipeline (or the bench plumbing itself) breaks
 //! `cargo test` instead of silently corrupting the recorded trajectory.
 
-use bench::{bench_json, BenchPoint, run_sequential, run_sharded};
+use bench::{bench_json, run_sequential, run_sharded, BenchPoint};
 use cn_fit::{fit, FitConfig, Method};
 use cn_gen::{generate, GenConfig};
 use cn_trace::{PopulationMix, Timestamp};
@@ -26,10 +26,18 @@ fn bench_pipeline_smoke() {
 
     assert!(baseline.events > 0, "smoke workload produced no events");
     assert_eq!(baseline.events, batch_events, "stream vs batch event count");
-    assert_eq!(baseline.events, sharded.events, "sequential vs sharded event count");
+    assert_eq!(
+        baseline.events, sharded.events,
+        "sequential vs sharded event count"
+    );
 
     let json = bench_json("smoke", 3, baseline, sharded);
-    for key in ["events_per_sec", "peak_rss_mb", "wall_ms", "baseline_single_thread"] {
+    for key in [
+        "events_per_sec",
+        "peak_rss_mb",
+        "wall_ms",
+        "baseline_single_thread",
+    ] {
         assert!(json.contains(key), "bench json missing {key}: {json}");
     }
 }

@@ -25,10 +25,22 @@ pub struct FeatureSpec {
 
 /// The paper's four feature dimensions, in canonical order.
 pub const PAPER_FEATURES: [FeatureSpec; 4] = [
-    FeatureSpec { name: "srv_req_count", unit: "events/hour" },
-    FeatureSpec { name: "connected_sojourn_std", unit: "seconds" },
-    FeatureSpec { name: "s1_conn_rel_count", unit: "events/hour" },
-    FeatureSpec { name: "idle_sojourn_std", unit: "seconds" },
+    FeatureSpec {
+        name: "srv_req_count",
+        unit: "events/hour",
+    },
+    FeatureSpec {
+        name: "connected_sojourn_std",
+        unit: "seconds",
+    },
+    FeatureSpec {
+        name: "s1_conn_rel_count",
+        unit: "events/hour",
+    },
+    FeatureSpec {
+        name: "idle_sojourn_std",
+        unit: "seconds",
+    },
 ];
 
 /// Index of the `SRV_REQ` count feature.

@@ -12,9 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a final cluster (dense, 0-based, per clustering run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ClusterId(pub u32);
 
@@ -51,7 +49,12 @@ pub struct ClusteringParams {
 
 impl Default for ClusteringParams {
     fn default() -> Self {
-        ClusteringParams { theta_f: 5.0, theta_n: 1_000, max_split_dims: 2, max_depth: 64 }
+        ClusteringParams {
+            theta_f: 5.0,
+            theta_n: 1_000,
+            max_split_dims: 2,
+            max_depth: 64,
+        }
     }
 }
 
@@ -98,7 +101,10 @@ impl Clustering {
     /// Fraction of inputs assigned to each cluster, in cluster-id order.
     pub fn shares(&self) -> Vec<f64> {
         let n = self.assignments.len().max(1) as f64;
-        self.clusters.iter().map(|c| c.members.len() as f64 / n).collect()
+        self.clusters
+            .iter()
+            .map(|c| c.members.len() as f64 / n)
+            .collect()
     }
 
     /// Cluster-quality score: the fraction of the population's total
@@ -118,8 +124,7 @@ impl Clustering {
             total += features.iter().map(|f| (f[d] - mean).powi(2)).sum::<f64>();
             for c in &self.clusters {
                 let m = c.members.len() as f64;
-                let cmean: f64 =
-                    c.members.iter().map(|&i| features[i][d]).sum::<f64>() / m;
+                let cmean: f64 = c.members.iter().map(|&i| features[i][d]).sum::<f64>() / m;
                 within += c
                     .members
                     .iter()
@@ -158,7 +163,10 @@ impl Clustering {
 /// Panics if feature vectors have inconsistent dimensions.
 pub fn cluster(features: &[Vec<f64>], params: &ClusteringParams) -> Clustering {
     if features.is_empty() {
-        return Clustering { assignments: Vec::new(), clusters: Vec::new() };
+        return Clustering {
+            assignments: Vec::new(),
+            clusters: Vec::new(),
+        };
     }
     let dim = features[0].len();
     assert!(
@@ -167,7 +175,11 @@ pub fn cluster(features: &[Vec<f64>], params: &ClusteringParams) -> Clustering {
     );
     let sane: Vec<Vec<f64>> = features
         .iter()
-        .map(|f| f.iter().map(|&x| if x.is_finite() { x } else { 0.0 }).collect())
+        .map(|f| {
+            f.iter()
+                .map(|&x| if x.is_finite() { x } else { 0.0 })
+                .collect()
+        })
         .collect();
 
     let mut clusters: Vec<ClusterInfo> = Vec::new();
@@ -181,7 +193,10 @@ pub fn cluster(features: &[Vec<f64>], params: &ClusteringParams) -> Clustering {
             assignments[m] = c.id;
         }
     }
-    Clustering { assignments, clusters }
+    Clustering {
+        assignments,
+        clusters,
+    }
 }
 
 /// (lo, hi) per dimension over the member values.
@@ -277,7 +292,11 @@ mod tests {
     use super::*;
 
     fn params(theta_f: f64, theta_n: usize) -> ClusteringParams {
-        ClusteringParams { theta_f, theta_n, ..ClusteringParams::default() }
+        ClusteringParams {
+            theta_f,
+            theta_n,
+            ..ClusteringParams::default()
+        }
     }
 
     #[test]
@@ -318,7 +337,7 @@ mod tests {
                 .iter()
                 .zip(&info.feature_max)
                 .all(|(lo, hi)| hi - lo < 5.0);
-            assert!(similar || info.len() < 1, "cluster {:?}", info.id);
+            assert!(similar || info.is_empty(), "cluster {:?}", info.id);
         }
     }
 
@@ -333,7 +352,14 @@ mod tests {
     #[test]
     fn partition_is_total_and_disjoint() {
         let features: Vec<Vec<f64>> = (0..500)
-            .map(|i| vec![(i % 97) as f64, (i % 31) as f64, (i % 7) as f64, (i % 13) as f64])
+            .map(|i| {
+                vec![
+                    (i % 97) as f64,
+                    (i % 31) as f64,
+                    (i % 7) as f64,
+                    (i % 13) as f64,
+                ]
+            })
             .collect();
         let c = cluster(&features, &params(5.0, 20));
         assert_eq!(c.assignments.len(), 500);
@@ -392,8 +418,7 @@ mod tests {
 
     #[test]
     fn shares_sum_to_one() {
-        let features: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![i as f64, (100 - i) as f64]).collect();
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (100 - i) as f64]).collect();
         let c = cluster(&features, &params(5.0, 10));
         let sum: f64 = c.shares().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
@@ -404,7 +429,11 @@ mod tests {
         // Heavy-tailed activity: most UEs near zero, a few very large.
         let features: Vec<Vec<f64>> = (0..2_000)
             .map(|i| {
-                let x = if i % 100 == 0 { (i as f64) * 3.0 } else { (i % 10) as f64 };
+                let x = if i % 100 == 0 {
+                    (i as f64) * 3.0
+                } else {
+                    (i % 10) as f64
+                };
                 vec![x, x / 2.0]
             })
             .collect();

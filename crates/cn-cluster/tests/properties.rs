@@ -4,13 +4,12 @@ use cn_cluster::{cluster, ClusteringParams};
 use proptest::prelude::*;
 
 fn arb_features() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.0f64..200.0, 4..=4),
-        0..400,
-    )
+    prop::collection::vec(prop::collection::vec(0.0f64..200.0, 4..=4), 0..400)
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// Clustering is a partition: every UE in exactly one cluster, and
     /// assignments agree with the member lists.
     #[test]
@@ -69,9 +68,9 @@ proptest! {
         let c = cluster(&features, &params);
         for info in &c.clusters {
             for &m in &info.members {
-                for d in 0..4 {
-                    prop_assert!(features[m][d] >= info.feature_min[d] - 1e-9);
-                    prop_assert!(features[m][d] <= info.feature_max[d] + 1e-9);
+                for (d, &f) in features[m].iter().enumerate() {
+                    prop_assert!(f >= info.feature_min[d] - 1e-9);
+                    prop_assert!(f <= info.feature_max[d] + 1e-9);
                 }
             }
         }

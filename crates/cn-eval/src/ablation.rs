@@ -108,7 +108,10 @@ pub fn ablation_exit_prob(lab: &Lab) -> Table {
         &FIDELITY_HEADERS,
     );
     let with = lab.models(Method::Ours);
-    t.push_row(fidelity_row("with exit probabilities".into(), &evaluate(lab, with, 0xAB2)));
+    t.push_row(fidelity_row(
+        "with exit probabilities".into(),
+        &evaluate(lab, with, 0xAB2),
+    ));
 
     let mut without = with.clone();
     for dm in &mut without.devices {
@@ -171,7 +174,12 @@ pub fn ablation_hour_semantics(lab: &Lab) -> Table {
     use cn_gen::HourSemantics;
     let mut t = Table::new(
         "Ablation D: hour-boundary sojourn semantics (method Ours)",
-        &["variant", "diurnal corr (P)", "diurnal corr (CC)", "events/day"],
+        &[
+            "variant",
+            "diurnal corr (P)",
+            "diurnal corr (CC)",
+            "events/day",
+        ],
     );
     // Real weekday profile per device.
     let world = lab.world();

@@ -85,8 +85,8 @@ impl Breakdown {
     /// `synthesized − real`).
     pub fn diff(&self, synthesized: &Breakdown) -> [f64; 8] {
         let mut d = [0.0; 8];
-        for i in 0..8 {
-            d[i] = synthesized.shares[i] - self.shares[i];
+        for (i, di) in d.iter_mut().enumerate() {
+            *di = synthesized.shares[i] - self.shares[i];
         }
         d
     }
@@ -190,8 +190,14 @@ mod tests {
 
     #[test]
     fn diff_is_signed() {
-        let a = Breakdown { shares: [0.1, 0.0, 0.5, 0.4, 0.0, 0.0, 0.0, 0.0], total: 100 };
-        let b = Breakdown { shares: [0.0, 0.0, 0.6, 0.4, 0.0, 0.0, 0.0, 0.0], total: 100 };
+        let a = Breakdown {
+            shares: [0.1, 0.0, 0.5, 0.4, 0.0, 0.0, 0.0, 0.0],
+            total: 100,
+        };
+        let b = Breakdown {
+            shares: [0.0, 0.0, 0.6, 0.4, 0.0, 0.0, 0.0, 0.0],
+            total: 100,
+        };
         let d = a.diff(&b);
         assert!((d[0] + 0.1).abs() < 1e-12);
         assert!((d[2] - 0.1).abs() < 1e-12);

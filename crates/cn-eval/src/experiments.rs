@@ -52,7 +52,11 @@ pub fn table1(lab: &Lab) -> Table {
 /// hours of day, for one (device, event).
 pub fn fig2(lab: &Lab, device: DeviceType, event: EventType) -> Table {
     let mut t = Table::new(
-        format!("Fig. 2: {} of {} per device-hour", event.mnemonic(), device.abbrev()),
+        format!(
+            "Fig. 2: {} of {} per device-hour",
+            event.mnemonic(),
+            device.abbrev()
+        ),
         &["hour", "min", "q1", "median", "q3", "max", "mean"],
     );
     let world = lab.world().filter_device(device);
@@ -71,8 +75,15 @@ pub fn fig2(lab: &Lab, device: DeviceType, event: EventType) -> Table {
             }
             samples.extend(per_day.into_iter().map(f64::from));
         }
-        let stats = BoxStats::from_samples(&samples)
-            .unwrap_or(BoxStats { min: 0.0, q1: 0.0, median: 0.0, q3: 0.0, max: 0.0, mean: 0.0, n: 0 });
+        let stats = BoxStats::from_samples(&samples).unwrap_or(BoxStats {
+            min: 0.0,
+            q1: 0.0,
+            median: 0.0,
+            q3: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            n: 0,
+        });
         t.push_row(vec![
             hour.to_string(),
             format!("{:.0}", stats.min),
@@ -171,7 +182,8 @@ fn fig34_data(lab: &Lab, device: DeviceType) -> Fig34Data {
                     // preprocessing.
                     if let Some(prev) = last_ho {
                         if r.t.hour_of_day() == busy && same_window(prev, r.t) {
-                            d.ho_gaps_busy.push(r.t.since(prev) as f64 / MS_PER_SEC as f64);
+                            d.ho_gaps_busy
+                                .push(r.t.since(prev) as f64 / MS_PER_SEC as f64);
                         }
                     }
                     last_ho = Some(r.t);
@@ -180,7 +192,8 @@ fn fig34_data(lab: &Lab, device: DeviceType) -> Fig34Data {
                     d.tau_times.push(r.t.as_millis());
                     if let Some(prev) = last_tau {
                         if r.t.hour_of_day() == busy && same_window(prev, r.t) {
-                            d.tau_gaps_busy.push(r.t.since(prev) as f64 / MS_PER_SEC as f64);
+                            d.tau_gaps_busy
+                                .push(r.t.since(prev) as f64 / MS_PER_SEC as f64);
                         }
                     }
                     last_tau = Some(r.t);
@@ -217,7 +230,12 @@ pub fn fig3_hurst(lab: &Lab) -> Table {
     for device in DeviceType::ALL {
         let data = fig34_data(lab, device);
         let mut row = vec![device.abbrev().to_string()];
-        for times in [&data.srv_times, &data.rel_times, &data.ho_times, &data.tau_times] {
+        for times in [
+            &data.srv_times,
+            &data.rel_times,
+            &data.ho_times,
+            &data.tau_times,
+        ] {
             let bins = bin_counts(times, 0, end);
             row.push(
                 cn_stats::hurst_aggregated_variance(&bins, 8)
@@ -235,8 +253,15 @@ pub fn fig3(lab: &Lab, device: DeviceType) -> Table {
     let mut t = Table::new(
         format!("Fig. 3: variance-time (normalized) for {}", device.name()),
         &[
-            "scale_s", "CONN real", "CONN poisson", "IDLE real", "IDLE poisson", "HO real",
-            "HO poisson", "TAU real", "TAU poisson",
+            "scale_s",
+            "CONN real",
+            "CONN poisson",
+            "IDLE real",
+            "IDLE poisson",
+            "HO real",
+            "HO poisson",
+            "TAU real",
+            "TAU poisson",
         ],
     );
     let data = fig34_data(lab, device);
@@ -245,14 +270,23 @@ pub fn fig3(lab: &Lab, device: DeviceType) -> Table {
         return t;
     }
     let scales = default_scales();
-    let quantities = [&data.srv_times, &data.rel_times, &data.ho_times, &data.tau_times];
+    let quantities = [
+        &data.srv_times,
+        &data.rel_times,
+        &data.ho_times,
+        &data.tau_times,
+    ];
     // Per quantity: (scale → real normalized variance) and Poisson reference.
     let mut real: Vec<std::collections::HashMap<u64, f64>> = Vec::new();
     let mut rates: Vec<f64> = Vec::new();
     for times in quantities {
         let bins = bin_counts(times, 0, end);
         let vt = variance_time_plot(&bins, &scales);
-        real.push(vt.into_iter().map(|p| (p.scale_secs, p.normalized_variance)).collect());
+        real.push(
+            vt.into_iter()
+                .map(|p| (p.scale_secs, p.normalized_variance))
+                .collect(),
+        );
         rates.push(times.len() as f64 / bins.len().max(1) as f64);
     }
     for &m in &scales {
@@ -279,10 +313,12 @@ pub fn fig4(lab: &Lab, device: DeviceType) -> Table {
             "Fig. 4: real vs fitted-Poisson sample ranges, busy hour, {}",
             device.name()
         ),
-        &["quantity", "source", "min_s", "p25_s", "median_s", "p75_s", "p99_s", "max_s"],
+        &[
+            "quantity", "source", "min_s", "p25_s", "median_s", "p75_s", "p99_s", "max_s",
+        ],
     );
     let data = fig34_data(lab, device);
-    let mut rng = StdRng::seed_from_u64(lab.cfg.seed ^ 0xF16_4);
+    let mut rng = StdRng::seed_from_u64(lab.cfg.seed ^ 0xF164);
     let quantities: [(&str, &[f64]); 4] = [
         ("CONNECTED", &data.conn_sojourn_busy),
         ("IDLE", &data.idle_sojourn_busy),
@@ -307,7 +343,9 @@ pub fn fig4(lab: &Lab, device: DeviceType) -> Table {
         };
         push("real", &real);
         if let Ok(fitted) = Exponential::fit(samples) {
-            let synth: Vec<f64> = (0..samples.len()).map(|_| fitted.sample(&mut rng)).collect();
+            let synth: Vec<f64> = (0..samples.len())
+                .map(|_| fitted.sample(&mut rng))
+                .collect();
             if let Some(e) = Ecdf::new(synth) {
                 push("poisson", &e);
             }
@@ -345,7 +383,11 @@ pub fn table3() -> Table {
                 cn_fit::DistributionKind::Poisson => "Poisson".into(),
                 cn_fit::DistributionKind::EmpiricalCdf => "CDF".into(),
             },
-            if m.clustered() { "yes".into() } else { "no".into() },
+            if m.clustered() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     t
@@ -460,8 +502,7 @@ pub fn table6(lab: &Lab) -> Table {
         "Table 6: max y-distance per UE-activity group (Ours)",
         &header_refs,
     );
-    let mut rows: Vec<Vec<String>> =
-        vec![vec!["SRV_REQ".into()], vec!["S1_CONN_REL".into()]];
+    let mut rows: Vec<Vec<String>> = vec![vec!["SRV_REQ".into()], vec!["S1_CONN_REL".into()]];
     for s in [Scenario::One, Scenario::Two] {
         let mix = lab.cfg.scenario_mix(s);
         let real = lab.real(s);
@@ -477,11 +518,7 @@ pub fn table6(lab: &Lab) -> Table {
                 let (si_in, si_act) = split_active(&sc, 2.0);
                 let d_in = max_y_distance(&ri_in, &si_in);
                 let d_act = max_y_distance(&ri_act, &si_act);
-                rows[ri].push(format!(
-                    "{}/{}",
-                    fmt_opt_pct(d_in),
-                    fmt_opt_pct(d_act)
-                ));
+                rows[ri].push(format!("{}/{}", fmt_opt_pct(d_in), fmt_opt_pct(d_act)));
             }
         }
     }
@@ -497,7 +534,13 @@ pub fn table7(lab: &Lab) -> Table {
     let mut t = Table::new(
         "Table 7: projected 5G NSA / SA event breakdown",
         &[
-            "Event (NSA/SA)", "P NSA", "P SA", "CC NSA", "CC SA", "T NSA", "T SA",
+            "Event (NSA/SA)",
+            "P NSA",
+            "P SA",
+            "CC NSA",
+            "CC SA",
+            "T NSA",
+            "T SA",
         ],
     );
     let base = lab.models(Method::Ours);
@@ -517,7 +560,11 @@ pub fn table7(lab: &Lab) -> Table {
             let n = shares(&nsa, device)[e.code() as usize];
             let s = shares(&sa, device)[e.code() as usize];
             row.push(pct(n));
-            row.push(if e == EventType::Tau { "-".into() } else { pct(s) });
+            row.push(if e == EventType::Tau {
+                "-".into()
+            } else {
+                pct(s)
+            });
         }
         t.push_row(row);
     }
@@ -629,7 +676,10 @@ pub fn fig7(lab: &Lab, event: EventType) -> Table {
     for k in 0..=10u32 {
         let mut row = vec![k.to_string()];
         for e in &ecdfs {
-            row.push(e.as_ref().map_or("-".into(), |e| format!("{:.3}", e.cdf(f64::from(k)))));
+            row.push(
+                e.as_ref()
+                    .map_or("-".into(), |e| format!("{:.3}", e.cdf(f64::from(k)))),
+            );
         }
         t.push_row(row);
     }
@@ -645,7 +695,9 @@ pub fn fig7(lab: &Lab, event: EventType) -> Table {
 pub fn diurnal_fidelity(lab: &Lab) -> Table {
     let mut t = Table::new(
         "Extension: diurnal fidelity of a 24h synthesis (events per hour)",
-        &["hour", "P real", "P synth", "CC real", "CC synth", "T real", "T synth"],
+        &[
+            "hour", "P real", "P synth", "CC real", "CC synth", "T real", "T synth",
+        ],
     );
     // Real: mean weekday profile of the modeled world (per-hour volume
     // averaged over whole days).
@@ -788,13 +840,17 @@ mod tests {
         let mut base_leaks = false;
         for (di, _) in DeviceType::ALL.iter().enumerate() {
             let col0 = 1 + di * 5;
-            assert_eq!(parse(&ho_idle[col0 + 4]).abs(), 0.0, "Ours HO(IDLE) device {di}");
+            assert_eq!(
+                parse(&ho_idle[col0 + 4]).abs(),
+                0.0,
+                "Ours HO(IDLE) device {di}"
+            );
             base_leaks |= parse(&ho_idle[col0 + 1]) > 0.0;
         }
         assert!(base_leaks, "no device shows the baseline HO(IDLE) leak");
         // (2) For connected cars (mobility-heavy) the total absolute error
         // of Ours is below Base's.
-        let car0 = 1 + 1 * 5;
+        let car0 = 1 + 5;
         let sum_abs = |method_off: usize| -> f64 {
             t.rows
                 .iter()

@@ -34,8 +34,14 @@ pub fn alt_worlds(seed: u64, scale: u32) -> Vec<AltWorld> {
     sdc.profiles[DeviceType::ConnectedCar.code() as usize] =
         DeviceProfile::self_driving_car(DeviceType::ConnectedCar);
     vec![
-        AltWorld { name: "massive IoT sensors", config: iot },
-        AltWorld { name: "self-driving cars", config: sdc },
+        AltWorld {
+            name: "massive IoT sensors",
+            config: iot,
+        },
+        AltWorld {
+            name: "self-driving cars",
+            config: sdc,
+        },
     ]
 }
 
@@ -152,11 +158,7 @@ mod tests {
 
     #[test]
     fn holdout_generalizes() {
-        let world = generate_world(&WorldConfig::new(
-            PopulationMix::new(80, 30, 20),
-            2.0,
-            404,
-        ));
+        let world = generate_world(&WorldConfig::new(PopulationMix::new(80, 30, 20), 2.0, 404));
         let t = holdout(&world, 18, 5);
         assert_eq!(t.rows.len(), 3);
         let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();

@@ -74,7 +74,10 @@ impl ExperimentConfig {
             fiveg_days: 1.0,
             seed: 2024,
             busy_hour: 18,
-            clustering: ClusteringParams { theta_n: 20, ..ClusteringParams::default() },
+            clustering: ClusteringParams {
+                theta_n: 20,
+                ..ClusteringParams::default()
+            },
         }
     }
 
@@ -90,7 +93,10 @@ impl ExperimentConfig {
             fiveg_days: 2.0,
             seed: 2023,
             busy_hour: 18,
-            clustering: ClusteringParams { theta_n: 60, ..ClusteringParams::default() },
+            clustering: ClusteringParams {
+                theta_n: 60,
+                ..ClusteringParams::default()
+            },
         }
     }
 
@@ -144,7 +150,11 @@ impl Lab {
     /// population.
     pub fn world(&self) -> &Trace {
         self.world.get_or_init(|| {
-            generate_world(&WorldConfig::new(self.cfg.model_mix, self.cfg.days, self.cfg.seed))
+            generate_world(&WorldConfig::new(
+                self.cfg.model_mix,
+                self.cfg.days,
+                self.cfg.seed,
+            ))
         })
     }
 
@@ -167,7 +177,10 @@ impl Lab {
 
     /// The fitted model set of a method.
     pub fn models(&self, method: Method) -> &ModelSet {
-        let idx = Method::ALL.iter().position(|&m| m == method).expect("known method");
+        let idx = Method::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("known method");
         self.models[idx].get_or_init(|| {
             let mut config = FitConfig::new(method);
             config.clustering = self.cfg.clustering;
@@ -178,13 +191,16 @@ impl Lab {
 
     /// A synthesized busy-hour trace for (method, scenario).
     pub fn synth(&self, method: Method, scenario: Scenario) -> &Trace {
-        let midx = Method::ALL.iter().position(|&m| m == method).expect("known method");
+        let midx = Method::ALL
+            .iter()
+            .position(|&m| m == method)
+            .expect("known method");
         self.synth[midx][scenario.index()].get_or_init(|| {
             let config = GenConfig::new(
                 self.cfg.scenario_mix(scenario),
                 Timestamp::at_hour(0, self.cfg.busy_hour),
                 1.0,
-                self.cfg.seed ^ (0xC0DE + (midx as u64) << 8) ^ scenario.index() as u64,
+                self.cfg.seed ^ ((0xC0DE + (midx as u64)) << 8) ^ scenario.index() as u64,
             );
             generate(self.models(method), &config)
         })
@@ -211,7 +227,10 @@ impl Lab {
 /// Render a small "lab scale" summary table (used by the repro binary).
 pub fn scale_summary(cfg: &ExperimentConfig) -> Table {
     let mut t = Table::new("Lab configuration", &["parameter", "value"]);
-    t.push_row(vec!["modeled UEs".into(), cfg.model_mix.total().to_string()]);
+    t.push_row(vec![
+        "modeled UEs".into(),
+        cfg.model_mix.total().to_string(),
+    ]);
     t.push_row(vec!["modeled days".into(), cfg.days.to_string()]);
     t.push_row(vec![
         "scenario 1 UEs".into(),
@@ -255,8 +274,7 @@ mod tests {
         let lab = Lab::new(ExperimentConfig::quick());
         let s = lab.synth(Method::Ours, Scenario::One);
         assert!(!s.is_empty());
-        let devices: std::collections::HashSet<DeviceType> =
-            s.iter().map(|r| r.device).collect();
+        let devices: std::collections::HashSet<DeviceType> = s.iter().map(|r| r.device).collect();
         assert_eq!(devices.len(), 3, "missing device types: {devices:?}");
     }
 

@@ -42,3 +42,4 @@ pub mod verdicts;
 pub use breakdown::{breakdown, Breakdown, BreakdownRow};
 pub use lab::{ExperimentConfig, Lab};
 pub use report::Table;
+pub use verdicts::{verdict_report, verdicts};

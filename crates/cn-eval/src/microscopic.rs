@@ -116,9 +116,8 @@ mod tests {
     #[test]
     fn sojourns_extracted() {
         use EventType::*;
-        let mk = |t: u64, e| {
-            TraceRecord::new(Timestamp::from_millis(t), UeId(0), DeviceType::Phone, e)
-        };
+        let mk =
+            |t: u64, e| TraceRecord::new(Timestamp::from_millis(t), UeId(0), DeviceType::Phone, e);
         let trace = Trace::from_records(vec![
             mk(0, Attach),
             mk(4_000, S1ConnRelease),

@@ -75,7 +75,12 @@ impl Table {
         };
         let mut out = format!("# {}\n", self.title);
         out.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {
@@ -89,10 +94,7 @@ impl Table {
     pub fn render_markdown(&self) -> String {
         let mut out = format!("### {}\n\n", self.title);
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

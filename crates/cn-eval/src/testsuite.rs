@@ -113,9 +113,7 @@ impl SuiteTest {
                 let dist = fit_family(family, samples).ok()?;
                 Some(ks_test(samples, &dist)?.passes(SIGNIFICANCE))
             }
-            SuiteTest::AdPoisson => {
-                Some(ad_test_exponential(samples)?.passes(SIGNIFICANCE))
-            }
+            SuiteTest::AdPoisson => Some(ad_test_exponential(samples)?.passes(SIGNIFICANCE)),
         }
     }
 }
@@ -209,7 +207,13 @@ fn observe(events: &[TraceRecord], n_days: u64) -> SuiteObs {
         })
         .collect();
 
-    SuiteObs { device, gaps, states, bottom, features }
+    SuiteObs {
+        device,
+        gaps,
+        states,
+        bottom,
+        features,
+    }
 }
 
 /// Pass-rate results: `cell[(test, device)][column] = Some(pass fraction)`
@@ -251,8 +255,7 @@ pub fn run_suite_with(
     let mut combos: HashMap<DeviceType, usize> = HashMap::new();
 
     for device in DeviceType::ALL {
-        let dev_obs: Vec<&SuiteObs> =
-            all_obs.iter().filter(|o| o.device == device).collect();
+        let dev_obs: Vec<&SuiteObs> = all_obs.iter().filter(|o| o.device == device).collect();
         if dev_obs.is_empty() {
             continue;
         }
@@ -280,9 +283,7 @@ pub fn run_suite_with(
                                 pooled.extend_from_slice(&o.gaps[hour][e.code() as usize])
                             }
                             Quantity::Registered => pooled.extend_from_slice(&o.states[hour][0]),
-                            Quantity::Deregistered => {
-                                pooled.extend_from_slice(&o.states[hour][1])
-                            }
+                            Quantity::Deregistered => pooled.extend_from_slice(&o.states[hour][1]),
                             Quantity::Connected => pooled.extend_from_slice(&o.states[hour][2]),
                             Quantity::Idle => pooled.extend_from_slice(&o.states[hour][3]),
                         }
@@ -340,7 +341,11 @@ pub fn run_suite_with(
             })
             .collect()
     };
-    SuiteResult { main: to_frac(main), bottom: to_frac(bottom), combos }
+    SuiteResult {
+        main: to_frac(main),
+        bottom: to_frac(bottom),
+        combos,
+    }
 }
 
 /// Convenience for tests: Poisson K–S pass fraction over the *dominant*
@@ -412,8 +417,7 @@ mod tests {
     fn world_traffic_mostly_fails_poisson() {
         // The paper's headline negative result: bursty per-UE control
         // traffic is not Poisson. Our mechanistic world must reproduce it.
-        let trace =
-            generate_world(&WorldConfig::new(PopulationMix::new(60, 25, 15), 2.0, 31));
+        let trace = generate_world(&WorldConfig::new(PopulationMix::new(60, 25, 15), 2.0, 31));
         let result = run_suite(&trace, false, &ClusteringParams::default());
         let overall = poisson_ks_overall(&result);
         // At unit-test scale (100 UEs, 2 days) the per-hour pools are small
@@ -429,8 +433,7 @@ mod tests {
 
     #[test]
     fn extended_battery_adds_rows() {
-        let trace =
-            generate_world(&WorldConfig::new(PopulationMix::new(40, 15, 10), 1.0, 33));
+        let trace = generate_world(&WorldConfig::new(PopulationMix::new(40, 15, 10), 1.0, 33));
         let result = run_suite_with(
             &trace,
             false,
@@ -444,11 +447,12 @@ mod tests {
 
     #[test]
     fn clustering_produces_more_combos() {
-        let trace =
-            generate_world(&WorldConfig::new(PopulationMix::new(60, 25, 15), 2.0, 32));
+        let trace = generate_world(&WorldConfig::new(PopulationMix::new(60, 25, 15), 2.0, 32));
         let plain = run_suite(&trace, false, &ClusteringParams::default());
-        let mut params = ClusteringParams::default();
-        params.theta_n = 5;
+        let params = ClusteringParams {
+            theta_n: 5,
+            ..Default::default()
+        };
         let clustered = run_suite(&trace, true, &params);
         let sum = |r: &SuiteResult| r.combos.values().sum::<usize>();
         assert!(sum(&clustered) > sum(&plain));

@@ -61,7 +61,12 @@ pub fn series_fidelity(
     let af: Vec<f64> = a.iter().map(|&c| f64::from(c)).collect();
     let bf: Vec<f64> = b.iter().map(|&c| f64::from(c)).collect();
     let n = af.len() as f64;
-    let mse: f64 = af.iter().zip(&bf).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / n;
+    let mse: f64 = af
+        .iter()
+        .zip(&bf)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        / n;
     let rmse = mse.sqrt();
     let ref_mean = af.iter().sum::<f64>() / n;
     Some(SeriesFidelity {

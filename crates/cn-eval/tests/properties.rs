@@ -6,33 +6,33 @@ use cn_trace::{DeviceType, EventType, PopulationMix, Timestamp, Trace, TraceReco
 use proptest::prelude::*;
 
 fn arb_trace(max_ue: u32) -> impl Strategy<Value = Trace> {
-    prop::collection::vec((0u64..3_600_000, 0u32..64, 0u8..6), 0..300).prop_map(
-        move |recs| {
-            Trace::from_records(
-                recs.into_iter()
-                    .map(|(t, ue, e)| {
-                        let ue = ue % max_ue.max(1);
-                        // Device follows a fixed layout so per-UE device
-                        // types stay consistent.
-                        let device = match ue % 3 {
-                            0 => DeviceType::Phone,
-                            1 => DeviceType::ConnectedCar,
-                            _ => DeviceType::Tablet,
-                        };
-                        TraceRecord::new(
-                            Timestamp::from_millis(t),
-                            UeId(ue),
-                            device,
-                            EventType::from_code(e).unwrap(),
-                        )
-                    })
-                    .collect(),
-            )
-        },
-    )
+    prop::collection::vec((0u64..3_600_000, 0u32..64, 0u8..6), 0..300).prop_map(move |recs| {
+        Trace::from_records(
+            recs.into_iter()
+                .map(|(t, ue, e)| {
+                    let ue = ue % max_ue.max(1);
+                    // Device follows a fixed layout so per-UE device
+                    // types stay consistent.
+                    let device = match ue % 3 {
+                        0 => DeviceType::Phone,
+                        1 => DeviceType::ConnectedCar,
+                        _ => DeviceType::Tablet,
+                    };
+                    TraceRecord::new(
+                        Timestamp::from_millis(t),
+                        UeId(ue),
+                        device,
+                        EventType::from_code(e).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+    })
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
     /// Context-attributed breakdown shares always sum to 1 (or all-zero)
     /// and every share is a valid probability.
     #[test]

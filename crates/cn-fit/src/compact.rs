@@ -83,7 +83,9 @@ mod tests {
     #[test]
     fn compacted_ecdf_is_close_and_bounded() {
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>().powi(3) * 500.0).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| rng.gen::<f64>().powi(3) * 500.0)
+            .collect();
         let full = Ecdf::new(samples).unwrap();
         let small = compact_ecdf(&full, 100);
         assert_eq!(small.len(), 100);
@@ -112,5 +114,4 @@ mod tests {
             "compaction saved too little: {small_size} vs {full_size}"
         );
     }
-
 }

@@ -30,7 +30,11 @@ pub struct FirstEventModel {
 impl FirstEventModel {
     /// An empty model (never-active cluster-hour).
     pub fn empty() -> FirstEventModel {
-        FirstEventModel { events: Vec::new(), offset_secs: None, active_prob: 0.0 }
+        FirstEventModel {
+            events: Vec::new(),
+            offset_secs: None,
+            active_prob: 0.0,
+        }
     }
 
     /// Estimate from observations: `firsts` holds one `(event, offset_secs)`

@@ -79,7 +79,13 @@ pub fn inventory(set: &ModelSet) -> ModelInventory {
         mean_clusters[device.code() as usize] = clusters as f64 / 24.0;
     }
 
-    let frac = |n: usize| if total == 0 { 0.0 } else { n as f64 / total as f64 };
+    let frac = |n: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            n as f64 / total as f64
+        }
+    };
     ModelInventory {
         method: set.method.name().to_string(),
         total_models: total,
@@ -173,7 +179,10 @@ pub fn verify(set: &ModelSet) -> Vec<ModelDefect> {
         for row in &dm.personas {
             for (h, c) in row.iter().enumerate() {
                 if c.index() >= dm.hours[h].clusters.len() {
-                    defects.push(ModelDefect::DanglingPersona { device, hour: h as u8 });
+                    defects.push(ModelDefect::DanglingPersona {
+                        device,
+                        hour: h as u8,
+                    });
                 }
             }
         }
@@ -221,7 +230,11 @@ mod tests {
         assert!(inv.total_models >= 72, "{}", inv.total_models);
         assert!(inv.top_coverage > 0.3, "{}", inv.top_coverage);
         assert!(inv.first_event_coverage > 0.3);
-        assert!(inv.mean_idle_to_conn_prob > 0.5, "{}", inv.mean_idle_to_conn_prob);
+        assert!(
+            inv.mean_idle_to_conn_prob > 0.5,
+            "{}",
+            inv.mean_idle_to_conn_prob
+        );
         assert_eq!(inv.modeled_ues, [30, 12, 8]);
     }
 
@@ -229,7 +242,11 @@ mod tests {
     fn fitted_models_verify_clean() {
         for method in Method::ALL {
             let set = fit(&small(), &FitConfig::new(method));
-            assert!(verify(&set).is_empty(), "{method}: {:?}", verify(&set).first());
+            assert!(
+                verify(&set).is_empty(),
+                "{method}: {:?}",
+                verify(&set).first()
+            );
             assert!(machine_consistent(&set), "{method}");
         }
     }
@@ -249,7 +266,9 @@ mod tests {
         }
         let defects = verify(&set);
         assert!(
-            defects.iter().any(|d| matches!(d, ModelDefect::BadExitProb { .. })),
+            defects
+                .iter()
+                .any(|d| matches!(d, ModelDefect::BadExitProb { .. })),
             "{defects:?}"
         );
     }

@@ -51,9 +51,7 @@ pub fn fit(trace: &Trace, config: &FitConfig) -> ModelSet {
     let n_days = if config.n_days > 0 {
         config.n_days
     } else {
-        trace
-            .end()
-            .map_or(1, |t| t.as_millis() / MS_PER_DAY + 1)
+        trace.end().map_or(1, |t| t.as_millis() / MS_PER_DAY + 1)
     };
 
     let observations = observe_all(trace, config.threads);
@@ -67,7 +65,11 @@ pub fn fit(trace: &Trace, config: &FitConfig) -> ModelSet {
         })
         .collect();
 
-    ModelSet { method: config.method, devices, n_days }
+    ModelSet {
+        method: config.method,
+        devices,
+        n_days,
+    }
 }
 
 /// Replay and observe every UE, in parallel.
@@ -119,15 +121,23 @@ fn fit_device(
     let mut hours = Vec::with_capacity(24);
     if obs.is_empty() {
         for _ in 0..24 {
-            hours.push(HourModels { clusters: Vec::new() });
+            hours.push(HourModels {
+                clusters: Vec::new(),
+            });
         }
-        return DeviceModels { device, personas, hours };
+        return DeviceModels {
+            device,
+            personas,
+            hours,
+        };
     }
 
     for hour in HourOfDay::all() {
         let clustering = if config.method.clustered() {
-            let features: Vec<Vec<f64>> =
-                obs.iter().map(|o| o.features_for_hour(hour, n_days)).collect();
+            let features: Vec<Vec<f64>> = obs
+                .iter()
+                .map(|o| o.features_for_hour(hour, n_days))
+                .collect();
             cn_cluster::cluster(&features, &config.clustering)
         } else {
             // A single cluster holding every UE.
@@ -144,7 +154,11 @@ fn fit_device(
         hours.push(HourModels { clusters });
     }
 
-    DeviceModels { device, personas, hours }
+    DeviceModels {
+        device,
+        personas,
+        hours,
+    }
 }
 
 fn single_cluster(n: usize) -> Clustering {

@@ -29,6 +29,7 @@ pub trait TransitionLike:
     type State: Copy + Eq + Hash + Ord + std::fmt::Debug + Serialize + DeserializeOwned;
 
     /// Source state.
+    #[allow(clippy::wrong_self_convention)]
     fn from_state(self) -> Self::State;
     /// Destination state.
     fn to_state(self) -> Self::State;
@@ -95,7 +96,9 @@ pub struct SemiMarkovModel<T: TransitionLike> {
 
 impl<T: TransitionLike> Default for SemiMarkovModel<T> {
     fn default() -> Self {
-        SemiMarkovModel { branches: Vec::new() }
+        SemiMarkovModel {
+            branches: Vec::new(),
+        }
     }
 }
 
@@ -144,6 +147,13 @@ impl<T: TransitionLike> SemiMarkovModel<T> {
         self.branches.iter().map(|(s, _)| *s)
     }
 
+    /// Every fitted branch of the model, flattened across states — the
+    /// enumeration a validation harness walks to compare each transition's
+    /// probability and sojourn law against a re-fitted model.
+    pub fn branches(&self) -> impl Iterator<Item = &Branch<T>> {
+        self.branches.iter().flat_map(|(_, bs)| bs.iter())
+    }
+
     /// True if the model has no branches at all.
     pub fn is_empty(&self) -> bool {
         self.branches.is_empty()
@@ -151,11 +161,7 @@ impl<T: TransitionLike> SemiMarkovModel<T> {
 
     /// Sample the next transition and sojourn time (seconds) from `state`.
     /// Returns `None` when the state has no observed departures.
-    pub fn sample_next<R: Rng + ?Sized>(
-        &self,
-        state: T::State,
-        rng: &mut R,
-    ) -> Option<(T, f64)> {
+    pub fn sample_next<R: Rng + ?Sized>(&self, state: T::State, rng: &mut R) -> Option<(T, f64)> {
         let outs = self.outgoing(state);
         if outs.is_empty() {
             return None;
@@ -227,9 +233,7 @@ pub fn fit_sojourn(samples: &[f64], kind: DistributionKind) -> Dist {
 
 fn empirical(samples: &[f64]) -> Dist {
     let clean: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
-    Dist::Empirical(
-        Ecdf::new(if clean.is_empty() { vec![0.0] } else { clean }).expect("non-empty"),
-    )
+    Dist::Empirical(Ecdf::new(if clean.is_empty() { vec![0.0] } else { clean }).expect("non-empty"))
 }
 
 #[cfg(test)]
@@ -268,7 +272,9 @@ mod tests {
             SemiMarkovModel::fit(&HashMap::new(), DistributionKind::Poisson);
         assert!(m.is_empty());
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(m.sample_next(cn_statemachine::TopState::Idle, &mut rng).is_none());
+        assert!(m
+            .sample_next(cn_statemachine::TopState::Idle, &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -282,7 +288,9 @@ mod tests {
         let n = 20_000;
         let conn = (0..n)
             .filter(|_| {
-                let (t, _) = m.sample_next(cn_statemachine::TopState::Idle, &mut rng).unwrap();
+                let (t, _) = m
+                    .sample_next(cn_statemachine::TopState::Idle, &mut rng)
+                    .unwrap();
                 t == TopTransition::IdleToConn
             })
             .count();

@@ -81,15 +81,14 @@ impl UeObservations {
             let h = r.t.hour_of_day().index();
             obs.counts_by_hour[h][r.event.code() as usize] += 1;
             let key = window(r.t);
-            obs.first_by_day_hour.entry(key).or_insert_with(|| {
-                (r.event, r.t.offset_in_hour() as f64 / MS_PER_SEC as f64)
-            });
+            obs.first_by_day_hour
+                .entry(key)
+                .or_insert_with(|| (r.event, r.t.offset_in_hour() as f64 / MS_PER_SEC as f64));
             match r.event {
                 EventType::Handover => {
                     if let Some(prev) = last_ho {
                         if window(prev) == key {
-                            obs.ho_gaps_by_hour[h]
-                                .push(r.t.since(prev) as f64 / MS_PER_SEC as f64);
+                            obs.ho_gaps_by_hour[h].push(r.t.since(prev) as f64 / MS_PER_SEC as f64);
                         }
                     }
                     last_ho = Some(r.t);
@@ -196,8 +195,8 @@ mod tests {
         let events = vec![
             rec(1_000, ServiceRequest),
             rec(10_000, Handover),
-            rec(250_000, Handover),            // same hour 0: gap of 240 s
-            rec(MS_PER_HOUR + 5_000, Handover), // next hour: gap discarded
+            rec(250_000, Handover),              // same hour 0: gap of 240 s
+            rec(MS_PER_HOUR + 5_000, Handover),  // next hour: gap discarded
             rec(MS_PER_HOUR + 90_000, Handover), // hour 1: gap of 85 s
         ];
         let obs = UeObservations::observe(UeId(0), DeviceType::Phone, &events);

@@ -53,7 +53,12 @@ pub fn to_sa_records(trace: &Trace) -> Result<Vec<Record5G>, TauInSaTrace> {
         .iter()
         .enumerate()
         .map(|(index, r)| match Event5G::from_4g(r.event) {
-            Some(event) => Ok(Record5G { t: r.t, ue: r.ue, device: r.device, event }),
+            Some(event) => Ok(Record5G {
+                t: r.t,
+                ue: r.ue,
+                device: r.device,
+                event,
+            }),
             None => Err(TauInSaTrace { index, ue: r.ue }),
         })
         .collect()
@@ -120,10 +125,18 @@ mod tests {
         use cn_trace::PopulationMix;
         use cn_world::{generate_world, WorldConfig};
         let world = generate_world(&WorldConfig::new(PopulationMix::new(20, 10, 5), 1.0, 3));
-        let sa = adapt_model(&fit(&world, &FitConfig::new(Method::Ours)), &ScalingProfile::SA);
+        let sa = adapt_model(
+            &fit(&world, &FitConfig::new(Method::Ours)),
+            &ScalingProfile::SA,
+        );
         let trace = generate(
             &sa,
-            &GenConfig::new(PopulationMix::new(20, 10, 5), Timestamp::at_hour(0, 12), 3.0, 8),
+            &GenConfig::new(
+                PopulationMix::new(20, 10, 5),
+                Timestamp::at_hour(0, 12),
+                3.0,
+                8,
+            ),
         );
         let records = to_sa_records(&trace).expect("SA model emits no TAU");
         assert_eq!(records.len(), trace.len());

@@ -52,11 +52,17 @@ pub struct ScalingProfile {
 impl ScalingProfile {
     /// The paper's NSA profile: HO ×4.6 (from the mmWave measurement study
     /// the paper cites as \[32\]).
-    pub const NSA: ScalingProfile = ScalingProfile { mode: FiveGMode::Nsa, ho_factor: 4.6 };
+    pub const NSA: ScalingProfile = ScalingProfile {
+        mode: FiveGMode::Nsa,
+        ho_factor: 4.6,
+    };
 
     /// The paper's SA profile: HO ×3.0 (the authors' controlled
     /// walking/driving experiment, §8.2).
-    pub const SA: ScalingProfile = ScalingProfile { mode: FiveGMode::Sa, ho_factor: 3.0 };
+    pub const SA: ScalingProfile = ScalingProfile {
+        mode: FiveGMode::Sa,
+        ho_factor: 3.0,
+    };
 }
 
 /// Whether a flattened two-level state is TAU-entered (removed under SA).
@@ -139,7 +145,9 @@ pub fn adapt_model(set: &ModelSet, profile: &ScalingProfile) -> ModelSet {
                     })
                     .collect();
                 c.top = c.top.map_branches(|b| adapt_branch(b, profile, |_| false));
-                c.bottom = c.bottom.map_branches(|b| adapt_branch(b, profile, is_tau_state));
+                c.bottom = c
+                    .bottom
+                    .map_branches(|b| adapt_branch(b, profile, is_tau_state));
                 if profile.mode == FiveGMode::Sa {
                     c.tau_interarrival = None;
                     // Remove TAU from first-event mixes and renormalize.
@@ -241,8 +249,7 @@ mod tests {
                         if t.event() != EventType::Handover {
                             continue;
                         }
-                        if let (Some(d4), Some(d5)) = (c4.bottom.sojourn(t), c5.bottom.sojourn(t))
-                        {
+                        if let (Some(d4), Some(d5)) = (c4.bottom.sojourn(t), c5.bottom.sojourn(t)) {
                             assert!(
                                 (d5.mean() - d4.mean() / 4.6).abs() / d4.mean() < 1e-9,
                                 "{t}: {} vs {}",
@@ -267,17 +274,14 @@ mod tests {
                 for hm in &dm.hours {
                     for c in &hm.clusters {
                         for state in c.bottom.states() {
-                            let total: f64 =
-                                c.bottom.outgoing(state).iter().map(|b| b.prob).sum();
+                            let total: f64 = c.bottom.outgoing(state).iter().map(|b| b.prob).sum();
                             assert!((total - 1.0).abs() < 1e-9, "{profile:?} {state:?}: {total}");
                         }
                         for state in c.top.states() {
-                            let total: f64 =
-                                c.top.outgoing(state).iter().map(|b| b.prob).sum();
+                            let total: f64 = c.top.outgoing(state).iter().map(|b| b.prob).sum();
                             assert!((total - 1.0).abs() < 1e-9);
                         }
-                        let fe_total: f64 =
-                            c.first_event.events.iter().map(|(_, p)| p).sum();
+                        let fe_total: f64 = c.first_event.events.iter().map(|(_, p)| p).sum();
                         assert!(
                             c.first_event.is_empty() || (fe_total - 1.0).abs() < 1e-9,
                             "first-event probs {fe_total}"

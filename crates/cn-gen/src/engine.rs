@@ -42,7 +42,12 @@ pub struct GenConfig {
 impl GenConfig {
     /// A synthesis run for `population` UEs over `duration_hours` starting
     /// at `start`.
-    pub fn new(population: PopulationMix, start: Timestamp, duration_hours: f64, seed: u64) -> Self {
+    pub fn new(
+        population: PopulationMix,
+        start: Timestamp,
+        duration_hours: f64,
+        seed: u64,
+    ) -> Self {
         GenConfig {
             population,
             start,
@@ -140,7 +145,10 @@ pub fn generate(models: &ModelSet, config: &GenConfig) -> Trace {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("generator panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("generator panicked"))
+            .collect()
     })
     .expect("scope panicked");
 

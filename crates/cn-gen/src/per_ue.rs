@@ -261,8 +261,7 @@ impl<'m> UeEventIter<'m> {
                 for _ in 0..16 {
                     match model.bottom.sample_next(s, &mut self.rng) {
                         Some((tr, d)) if base + d < top_fire => {
-                            let pending =
-                                self.truncate(base, Some((tr, base + d)));
+                            let pending = self.truncate(base, Some((tr, base + d)));
                             return match pending {
                                 Some(p) => (Some(p), next_hour_boundary(base)),
                                 // Truncated: retry at the boundary.
@@ -485,10 +484,7 @@ impl<'m> UeEventIter<'m> {
             bottom_pending,
             bottom_retry,
         };
-        match emitted {
-            Some(rec) => Some(Some(rec)),
-            None => None, // legal step without an emission; loop
-        }
+        emitted.map(Some)
     }
 
     /// Advance the EMM–ECM machine by one step (same convention as
@@ -636,8 +632,14 @@ mod tests {
         let end = Timestamp::at_hour(0, 12);
         let mut produced = 0;
         for seed in 0..40 {
-            let t =
-                generate_ue(set.device(DeviceType::Phone), Method::Ours, UeId(0), start, end, seed);
+            let t = generate_ue(
+                set.device(DeviceType::Phone),
+                Method::Ours,
+                UeId(0),
+                start,
+                end,
+                seed,
+            );
             produced += t.len();
             for r in t.iter() {
                 assert!(r.t >= start && r.t < end);
@@ -708,7 +710,11 @@ mod tests {
         let dm = DeviceModels {
             device: DeviceType::Phone,
             personas: Vec::new(),
-            hours: (0..24).map(|_| cn_fit::HourModels { clusters: Vec::new() }).collect(),
+            hours: (0..24)
+                .map(|_| cn_fit::HourModels {
+                    clusters: Vec::new(),
+                })
+                .collect(),
         };
         let t = generate_ue(
             &dm,
@@ -775,7 +781,11 @@ mod tests {
                 HourSemantics::TruncateAtBoundary,
             );
             let out = replay_ue(trunc.records());
-            assert!(out.is_conformant(), "seed {seed}: {:?}", out.violations.first());
+            assert!(
+                out.is_conformant(),
+                "seed {seed}: {:?}",
+                out.violations.first()
+            );
             differs |= entry != trunc;
         }
         assert!(differs, "semantics never changed the output");

@@ -131,11 +131,19 @@ impl ShardedStream {
                 .spawn(move || shard_worker(&models, &config, shard, shards, &tx))
                 .expect("spawn shard worker");
             workers.push(handle);
-            cursors.push(ShardCursor { rx, block: Vec::new(), pos: 0 });
+            cursors.push(ShardCursor {
+                rx,
+                block: Vec::new(),
+                pos: 0,
+            });
         }
         let heads: Vec<Option<TraceRecord>> =
             cursors.iter_mut().map(ShardCursor::next_record).collect();
-        ShardedStream { shards: cursors, tree: LoserTree::new(heads), workers }
+        ShardedStream {
+            shards: cursors,
+            tree: LoserTree::new(heads),
+            workers,
+        }
     }
 
     /// Number of shards that still have records pending.
@@ -225,7 +233,12 @@ mod tests {
     }
 
     fn config() -> GenConfig {
-        GenConfig::new(PopulationMix::new(18, 8, 5), Timestamp::at_hour(0, 9), 2.0, 7)
+        GenConfig::new(
+            PopulationMix::new(18, 8, 5),
+            Timestamp::at_hour(0, 9),
+            2.0,
+            7,
+        )
     }
 
     #[test]

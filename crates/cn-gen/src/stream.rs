@@ -48,9 +48,11 @@ impl<'m> PopulationStream<'m> {
                 )
             })
             .collect();
-        let heads: Vec<Option<TraceRecord>> =
-            generators.iter_mut().map(Iterator::next).collect();
-        PopulationStream { tree: LoserTree::new(heads), generators }
+        let heads: Vec<Option<TraceRecord>> = generators.iter_mut().map(Iterator::next).collect();
+        PopulationStream {
+            tree: LoserTree::new(heads),
+            generators,
+        }
     }
 
     /// Number of UEs that still have events pending.

@@ -6,8 +6,7 @@
 
 use cn_cluster::ClusterId;
 use cn_fit::{
-    ClusterHourModel, DeviceModels, FirstEventModel, HourModels, Method, ModelSet,
-    SemiMarkovModel,
+    ClusterHourModel, DeviceModels, FirstEventModel, HourModels, Method, ModelSet, SemiMarkovModel,
 };
 use cn_gen::{generate, generate_ue, GenConfig};
 use cn_statemachine::TopTransition;
@@ -19,12 +18,20 @@ fn empty_device(device: DeviceType) -> DeviceModels {
     DeviceModels {
         device,
         personas: vec![[ClusterId(0); 24]],
-        hours: (0..24).map(|_| HourModels { clusters: vec![ClusterHourModel::empty()] }).collect(),
+        hours: (0..24)
+            .map(|_| HourModels {
+                clusters: vec![ClusterHourModel::empty()],
+            })
+            .collect(),
     }
 }
 
 fn model_set(devices: Vec<DeviceModels>) -> ModelSet {
-    ModelSet { method: Method::Ours, devices, n_days: 1 }
+    ModelSet {
+        method: Method::Ours,
+        devices,
+        n_days: 1,
+    }
 }
 
 #[test]
@@ -51,7 +58,10 @@ fn first_event_only_models_emit_exactly_the_bootstrap() {
     let mut device = empty_device(DeviceType::Phone);
     for hm in &mut device.hours {
         hm.clusters[0].first_event = FirstEventModel::fit(
-            &[(EventType::ServiceRequest, 100.0), (EventType::ServiceRequest, 900.0)],
+            &[
+                (EventType::ServiceRequest, 100.0),
+                (EventType::ServiceRequest, 900.0),
+            ],
             0,
         );
     }

@@ -29,8 +29,13 @@ pub enum Interface {
 
 impl Interface {
     /// All five interfaces.
-    pub const ALL: [Interface; 5] =
-        [Interface::S1, Interface::S6a, Interface::S11, Interface::S5, Interface::Gx];
+    pub const ALL: [Interface; 5] = [
+        Interface::S1,
+        Interface::S6a,
+        Interface::S11,
+        Interface::S5,
+        Interface::Gx,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -174,11 +179,14 @@ pub struct MessageRecord {
 /// Expand an event trace into its signaling messages, lazily.
 pub fn expand(trace: &Trace) -> impl Iterator<Item = MessageRecord> + '_ {
     trace.iter().flat_map(|r| {
-        procedure(r.event).iter().enumerate().map(move |(i, &message)| MessageRecord {
-            t: r.t.saturating_add(i as u64),
-            ue: r.ue,
-            message,
-        })
+        procedure(r.event)
+            .iter()
+            .enumerate()
+            .map(move |(i, &message)| MessageRecord {
+                t: r.t.saturating_add(i as u64),
+                ue: r.ue,
+                message,
+            })
     })
 }
 
@@ -189,7 +197,10 @@ pub fn interface_load(trace: &Trace) -> [u64; 5] {
     let mut per_event = [[0u64; 5]; 6];
     for e in EventType::ALL {
         for msg in procedure(e) {
-            let idx = Interface::ALL.iter().position(|&i| i == msg.interface).expect("known");
+            let idx = Interface::ALL
+                .iter()
+                .position(|&i| i == msg.interface)
+                .expect("known");
             per_event[e.code() as usize][idx] += 1;
         }
     }
@@ -216,7 +227,10 @@ pub fn derived_matrix() -> TransactionMatrix {
         for msg in procedure(e) {
             let (a, b) = msg.interface.endpoints();
             for nf in [a, b].into_iter().flatten() {
-                let idx = NetworkFunction::ALL.iter().position(|&n| n == nf).expect("known");
+                let idx = NetworkFunction::ALL
+                    .iter()
+                    .position(|&n| n == nf)
+                    .expect("known");
                 transactions[e.code() as usize][idx] += 1;
             }
         }

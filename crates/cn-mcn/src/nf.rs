@@ -104,7 +104,10 @@ pub struct NfLoad {
 impl NfLoad {
     /// Total transactions at one NF.
     pub fn total(&self, nf: NetworkFunction) -> u64 {
-        let idx = NetworkFunction::ALL.iter().position(|&n| n == nf).expect("known NF");
+        let idx = NetworkFunction::ALL
+            .iter()
+            .position(|&n| n == nf)
+            .expect("known NF");
         self.totals[idx]
     }
 
@@ -146,9 +149,8 @@ mod tests {
     #[test]
     fn attach_is_the_heaviest_procedure() {
         let m = TransactionMatrix::default_epc();
-        let total = |e: EventType| -> u32 {
-            NetworkFunction::ALL.iter().map(|&nf| m.of(e, nf)).sum()
-        };
+        let total =
+            |e: EventType| -> u32 { NetworkFunction::ALL.iter().map(|&nf| m.of(e, nf)).sum() };
         for e in EventType::ALL {
             assert!(total(EventType::Attach) >= total(e), "{e}");
         }

@@ -101,8 +101,7 @@ pub fn apply(trace: &Trace, policy: &AdmissionPolicy) -> (ShedReport, Trace) {
     for rec in trace.iter() {
         let now_us = rec.t.as_millis() * 1_000;
         if let Some(prev) = last_us {
-            tokens = (tokens
-                + (now_us.saturating_sub(prev)) as f64 / 1e6 * policy.rate_per_sec)
+            tokens = (tokens + (now_us.saturating_sub(prev)) as f64 / 1e6 * policy.rate_per_sec)
                 .min(policy.burst);
         }
         last_us = Some(now_us);
@@ -145,7 +144,9 @@ mod tests {
     #[test]
     fn unloaded_controller_admits_everything() {
         let trace = Trace::from_records(
-            (0..50).map(|i| rec(i * 1_000, EventType::ServiceRequest)).collect(),
+            (0..50)
+                .map(|i| rec(i * 1_000, EventType::ServiceRequest))
+                .collect(),
         );
         let policy = AdmissionPolicy::sized_for(10.0);
         let (report, admitted) = apply(&trace, &policy);

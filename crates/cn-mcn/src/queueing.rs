@@ -31,7 +31,9 @@ impl ServiceProfile {
 
     /// Uniform service time for all event types.
     pub fn uniform(us: f64) -> ServiceProfile {
-        ServiceProfile { service_us: [us; 6] }
+        ServiceProfile {
+            service_us: [us; 6],
+        }
     }
 
     /// Service time of one event, µs.
@@ -69,7 +71,10 @@ pub struct QueueSim {
 impl QueueSim {
     /// Create with a service profile and `workers ≥ 1` parallel servers.
     pub fn new(profile: ServiceProfile, workers: usize) -> QueueSim {
-        QueueSim { profile, workers: workers.max(1) }
+        QueueSim {
+            profile,
+            workers: workers.max(1),
+        }
     }
 
     /// Run the trace through the queue. Returns `None` for an empty trace.
@@ -78,8 +83,7 @@ impl QueueSim {
             return None;
         }
         // Min-heap of worker-free times (µs).
-        let mut free: BinaryHeap<Reverse<u64>> =
-            (0..self.workers).map(|_| Reverse(0u64)).collect();
+        let mut free: BinaryHeap<Reverse<u64>> = (0..self.workers).map(|_| Reverse(0u64)).collect();
         let mut latencies_ms: Vec<f64> = Vec::with_capacity(trace.len());
         let mut busy_us: f64 = 0.0;
         let mut peak_backlog = 0usize;
@@ -90,7 +94,10 @@ impl QueueSim {
         for rec in trace.iter() {
             let arrival_us = rec.t.as_millis() * 1_000;
             // Backlog = events not yet finished at this arrival.
-            while completions.peek().is_some_and(|Reverse(c)| *c <= arrival_us) {
+            while completions
+                .peek()
+                .is_some_and(|Reverse(c)| *c <= arrival_us)
+            {
                 completions.pop();
             }
             peak_backlog = peak_backlog.max(completions.len());
@@ -140,7 +147,9 @@ pub struct MessageServiceProfile {
 impl MessageServiceProfile {
     /// A plausible default.
     pub fn default_epc() -> MessageServiceProfile {
-        MessageServiceProfile { service_us: [80.0, 400.0, 120.0, 120.0, 350.0] }
+        MessageServiceProfile {
+            service_us: [80.0, 400.0, 120.0, 120.0, 350.0],
+        }
     }
 }
 
@@ -157,8 +166,7 @@ impl QueueSim {
     where
         I: IntoIterator<Item = crate::messages::MessageRecord>,
     {
-        let mut free: BinaryHeap<Reverse<u64>> =
-            (0..self.workers).map(|_| Reverse(0u64)).collect();
+        let mut free: BinaryHeap<Reverse<u64>> = (0..self.workers).map(|_| Reverse(0u64)).collect();
         let mut latencies_ms: Vec<f64> = Vec::new();
         let mut busy_us: f64 = 0.0;
         let mut peak_backlog = 0usize;
@@ -168,7 +176,10 @@ impl QueueSim {
         for rec in messages {
             let arrival_us = rec.t.as_millis() * 1_000;
             t0_us.get_or_insert(arrival_us);
-            while completions.peek().is_some_and(|Reverse(c)| *c <= arrival_us) {
+            while completions
+                .peek()
+                .is_some_and(|Reverse(c)| *c <= arrival_us)
+            {
                 completions.pop();
             }
             peak_backlog = peak_backlog.max(completions.len());
@@ -229,14 +240,16 @@ mod tests {
     #[test]
     fn unloaded_queue_has_pure_service_latency() {
         // Events 1 s apart, 1 ms service: no queueing at all.
-        let trace = Trace::from_records(
-            (0..10).map(|i| rec(i * 1_000, EventType::Tau)).collect(),
-        );
+        let trace = Trace::from_records((0..10).map(|i| rec(i * 1_000, EventType::Tau)).collect());
         let report = QueueSim::new(ServiceProfile::uniform(1_000.0), 1)
             .run(&trace)
             .unwrap();
         assert_eq!(report.served, 10);
-        assert!((report.mean_latency_ms - 1.0).abs() < 1e-9, "{}", report.mean_latency_ms);
+        assert!(
+            (report.mean_latency_ms - 1.0).abs() < 1e-9,
+            "{}",
+            report.mean_latency_ms
+        );
         assert_eq!(report.peak_backlog, 0);
         assert!(report.utilization < 0.01);
     }
@@ -245,20 +258,22 @@ mod tests {
     fn overloaded_queue_builds_latency() {
         // 100 simultaneous events, 10 ms service each, 1 worker: the last
         // one waits ~990 ms.
-        let trace =
-            Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
+        let trace = Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
         let report = QueueSim::new(ServiceProfile::uniform(10_000.0), 1)
             .run(&trace)
             .unwrap();
-        assert!((report.max_latency_ms - 1_000.0).abs() < 1.0, "{}", report.max_latency_ms);
+        assert!(
+            (report.max_latency_ms - 1_000.0).abs() < 1.0,
+            "{}",
+            report.max_latency_ms
+        );
         assert!(report.peak_backlog > 50);
         assert!(report.utilization > 0.99);
     }
 
     #[test]
     fn more_workers_cut_latency() {
-        let trace =
-            Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
+        let trace = Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
         let one = QueueSim::new(ServiceProfile::uniform(10_000.0), 1)
             .run(&trace)
             .unwrap();
@@ -277,7 +292,10 @@ mod tests {
         ]);
         let sim = QueueSim::new(ServiceProfile::default_mme(), 2);
         let report = sim
-            .run_messages(messages::expand(&trace), &MessageServiceProfile::default_epc())
+            .run_messages(
+                messages::expand(&trace),
+                &MessageServiceProfile::default_epc(),
+            )
             .unwrap();
         assert_eq!(report.served, 19 + 5);
         assert!(report.mean_latency_ms > 0.0);

@@ -1,0 +1,149 @@
+//! Property-based tests for the overload-control admission policy.
+//!
+//! The token-bucket controller makes four promises that must hold for
+//! *every* trace and policy, not just the storm shapes of the unit tests:
+//! the admitted trace is a subsequence of the input, order is preserved,
+//! a shed `Critical` event is never followed (within the same instant,
+//! where no tokens can refill) by an admitted lower-priority event, and
+//! offering strictly more load never reduces the total shed count.
+
+use cn_mcn::overload::{apply, priority_of, AdmissionPolicy, Priority};
+use cn_trace::{DeviceType, EventType, Timestamp, Trace, TraceRecord, UeId};
+use proptest::prelude::*;
+
+/// A random trace: bursty gaps (many zero-millisecond ties to stress the
+/// no-refill path) over all six event types and a few UEs.
+fn arb_records() -> impl Strategy<Value = Vec<TraceRecord>> {
+    prop::collection::vec((0u64..800, 0u8..6, 0u32..4), 0..200).prop_map(|triples| {
+        let mut t = 0u64;
+        triples
+            .into_iter()
+            .map(|(gap, code, ue)| {
+                // Map small gaps to 0 so same-instant runs are common.
+                t += gap.saturating_sub(400);
+                TraceRecord::new(
+                    Timestamp::from_millis(t),
+                    UeId(ue),
+                    DeviceType::Phone,
+                    EventType::from_code(code).unwrap(),
+                )
+            })
+            .collect()
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
+    (1u32..200, 1u32..100, 0u32..=5, 0u32..=5).prop_map(|(rate, burst, high, critical)| {
+        AdmissionPolicy {
+            rate_per_sec: rate as f64 / 4.0,
+            burst: burst as f64,
+            high_reserve: high as f64 / 10.0,
+            critical_reserve: critical as f64 / 10.0,
+        }
+    })
+}
+
+/// Greedy subsequence match of `admitted` against `input`; returns one
+/// admission flag per input position, or `None` if `admitted` is not a
+/// subsequence (which is itself a property violation).
+fn admission_flags(input: &Trace, admitted: &Trace) -> Option<Vec<bool>> {
+    let mut flags = vec![false; input.len()];
+    let mut ai = admitted.iter().peekable();
+    for (i, rec) in input.iter().enumerate() {
+        if ai.peek() == Some(&rec) {
+            flags[i] = true;
+            ai.next();
+        }
+    }
+    if ai.next().is_none() {
+        Some(flags)
+    } else {
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The admitted trace is a subsequence of the input: same records, same
+    /// relative order, nothing fabricated.
+    #[test]
+    fn admitted_is_an_ordered_subsequence(records in arb_records(), policy in arb_policy()) {
+        let input = Trace::from_records(records);
+        let (report, admitted) = apply(&input, &policy);
+        prop_assert!(
+            admission_flags(&input, &admitted).is_some(),
+            "admitted trace is not a subsequence of the input"
+        );
+        prop_assert_eq!(admitted.len() as u64, report.total_admitted());
+        prop_assert_eq!(
+            (input.len() - admitted.len()) as u64,
+            report.total_shed()
+        );
+    }
+
+    /// Per-class accounting is complete: every input event is counted
+    /// exactly once, in the class of its own priority.
+    #[test]
+    fn report_partitions_the_input(records in arb_records(), policy in arb_policy()) {
+        let input = Trace::from_records(records);
+        let (report, _) = apply(&input, &policy);
+        for (i, p) in [Priority::Critical, Priority::High, Priority::Low].into_iter().enumerate() {
+            let class_total = input.iter().filter(|r| priority_of(r.event) == p).count() as u64;
+            prop_assert_eq!(report.admitted[i] + report.shed[i], class_total);
+        }
+    }
+
+    /// Within one instant (equal timestamps, so no token refill can happen)
+    /// a shed `Critical` event is never followed by an admitted event of a
+    /// lower priority class: critical traffic has the lowest floor, so once
+    /// it is refused, everything below is refused too.
+    #[test]
+    fn critical_never_shed_while_lower_admitted_in_same_instant(
+        records in arb_records(),
+        policy in arb_policy(),
+    ) {
+        let input = Trace::from_records(records);
+        let (_, admitted) = apply(&input, &policy);
+        let flags = admission_flags(&input, &admitted).expect("subsequence");
+        let recs: Vec<&TraceRecord> = input.iter().collect();
+        for i in 0..recs.len() {
+            if flags[i] || priority_of(recs[i].event) != Priority::Critical {
+                continue;
+            }
+            for (j, rec) in recs.iter().enumerate().skip(i + 1) {
+                if rec.t != recs[i].t {
+                    break;
+                }
+                prop_assert!(
+                    !(flags[j] && priority_of(rec.event) > Priority::Critical),
+                    "critical shed at index {} but lower-priority {:?} admitted at {} in the \
+                     same instant",
+                    i, rec.event, j
+                );
+            }
+        }
+    }
+
+    /// Offered load is monotone: adding events to a trace never decreases
+    /// the total shed count — extra demand cannot create admission capacity.
+    #[test]
+    fn shed_counts_monotone_in_offered_load(
+        base in arb_records(),
+        extra in arb_records(),
+        policy in arb_policy(),
+    ) {
+        let a = Trace::from_records(base.clone());
+        let mut combined = base;
+        combined.extend(extra);
+        let b = Trace::from_records(combined);
+        let (report_a, _) = apply(&a, &policy);
+        let (report_b, _) = apply(&b, &policy);
+        prop_assert!(
+            report_b.total_shed() >= report_a.total_shed(),
+            "shed went down under heavier load: {} -> {}",
+            report_a.total_shed(),
+            report_b.total_shed()
+        );
+    }
+}

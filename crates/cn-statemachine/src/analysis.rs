@@ -130,7 +130,10 @@ mod tests {
         for sub in [IdleSub::S1RelS1, IdleSub::TauSIdle, IdleSub::S1RelS2] {
             let reach = reachable_from(TlState::Idle(sub));
             for target in [IdleSub::TauSIdle, IdleSub::S1RelS2] {
-                assert!(reach.contains(&TlState::Idle(target)), "{sub:?} → {target:?}");
+                assert!(
+                    reach.contains(&TlState::Idle(target)),
+                    "{sub:?} → {target:?}"
+                );
             }
             assert!(reach.contains(&TlState::Connected(ConnSub::SrvReqS)));
         }

@@ -12,9 +12,8 @@ use cn_trace::EventType;
 /// DOT for the two-level LTE machine (Fig. 5): top-level states as a
 /// cluster of boxes, sub-states as ovals inside CONNECTED/IDLE clusters.
 pub fn two_level_dot() -> String {
-    let mut out = String::from(
-        "digraph two_level {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n",
-    );
+    let mut out =
+        String::from("digraph two_level {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
     out.push_str("  EMM_DEREGISTERED [shape=box];\n");
     out.push_str("  subgraph cluster_connected {\n    label=\"ECM_CONNECTED\";\n");
     for s in ["SRV_REQ_S", "HO_S", "TAU_S_CONN"] {
@@ -40,7 +39,10 @@ pub fn two_level_dot() -> String {
     let rep = |s: TlState| s.label();
     for t in TopTransition::ALL {
         let (from, to) = match t {
-            TopTransition::DeregToConn => ("EMM_DEREGISTERED", rep(TlState::after_event(EventType::Attach, false))),
+            TopTransition::DeregToConn => (
+                "EMM_DEREGISTERED",
+                rep(TlState::after_event(EventType::Attach, false)),
+            ),
             TopTransition::ConnToIdle => ("SRV_REQ_S", "S1_REL_S_1"),
             TopTransition::ConnToDereg => ("SRV_REQ_S", "EMM_DEREGISTERED"),
             TopTransition::IdleToConn => ("S1_REL_S_1", "SRV_REQ_S"),
@@ -57,9 +59,8 @@ pub fn two_level_dot() -> String {
 
 /// DOT for the adjusted 5G SA machine (Fig. 6).
 pub fn fiveg_sa_dot() -> String {
-    let mut out = String::from(
-        "digraph fiveg_sa {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n",
-    );
+    let mut out =
+        String::from("digraph fiveg_sa {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n");
     out.push_str("  \"RM-DEREGISTERED\" [shape=box];\n");
     out.push_str("  \"CM-IDLE\" [shape=box];\n");
     out.push_str("  subgraph cluster_connected {\n    label=\"CM-CONNECTED\";\n");

@@ -80,7 +80,9 @@ mod tests {
 
     #[test]
     fn double_service_request_is_illegal() {
-        assert!(EcmState::Connected.apply(EventType::ServiceRequest).is_none());
+        assert!(EcmState::Connected
+            .apply(EventType::ServiceRequest)
+            .is_none());
         assert!(EcmState::Idle.apply(EventType::S1ConnRelease).is_none());
     }
 }

@@ -163,10 +163,14 @@ mod tests {
 
     #[test]
     fn illegal_pairs_rejected() {
-        assert!(TopState::Deregistered.apply(EventType::ServiceRequest).is_none());
+        assert!(TopState::Deregistered
+            .apply(EventType::ServiceRequest)
+            .is_none());
         assert!(TopState::Deregistered.apply(EventType::Handover).is_none());
         assert!(TopState::Connected.apply(EventType::Attach).is_none());
-        assert!(TopState::Connected.apply(EventType::ServiceRequest).is_none());
+        assert!(TopState::Connected
+            .apply(EventType::ServiceRequest)
+            .is_none());
         assert!(TopState::Idle.apply(EventType::S1ConnRelease).is_none());
         assert!(TopState::Idle.apply(EventType::Handover).is_none());
     }
@@ -180,6 +184,9 @@ mod tests {
 
     #[test]
     fn display_labels() {
-        assert_eq!(TopTransition::ConnToIdle.to_string(), "CONNECTED-S1_CONN_REL");
+        assert_eq!(
+            TopTransition::ConnToIdle.to_string(),
+            "CONNECTED-S1_CONN_REL"
+        );
     }
 }

@@ -61,6 +61,23 @@ impl Sa5gState {
         }
     }
 
+    /// The state a UE occupies right after the given event, independent of
+    /// the predecessor state — the SA analogue of
+    /// [`crate::TlState::after_event`], used to infer an initial state when
+    /// a trace starts mid-stream (a UE's first event of the window need not
+    /// be a registration). `None` for `Tau`, which has no SA counterpart.
+    pub fn after_event(event: EventType) -> Option<Sa5gState> {
+        match event {
+            EventType::Attach | EventType::ServiceRequest => {
+                Some(Sa5gState::Connected(ConnSub5g::SrvReqS))
+            }
+            EventType::Handover => Some(Sa5gState::Connected(ConnSub5g::HoS)),
+            EventType::S1ConnRelease => Some(Sa5gState::Idle),
+            EventType::Detach => Some(Sa5gState::Deregistered),
+            EventType::Tau => None,
+        }
+    }
+
     /// 5G label of the state (Table 2 vocabulary).
     pub fn label(self) -> &'static str {
         match self {

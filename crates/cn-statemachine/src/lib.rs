@@ -30,5 +30,8 @@ pub mod replay;
 pub mod two_level;
 
 pub use emm_ecm::{TopState, TopTransition};
-pub use replay::{replay_ue, ReplayOutcome, Segment, SojournSample, Violation};
+pub use replay::{
+    replay_trace, replay_ue, PopulationReplay, ReplayOutcome, Segment, SojournSample, UeViolation,
+    Violation,
+};
 pub use two_level::{BottomTransition, ConnSub, IdleSub, TlState};

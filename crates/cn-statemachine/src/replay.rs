@@ -66,7 +66,11 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event #{}: {} illegal in {} at {}", self.index, self.event, self.state, self.t)
+        write!(
+            f,
+            "event #{}: {} illegal in {} at {}",
+            self.index, self.event, self.state, self.t
+        )
     }
 }
 
@@ -94,7 +98,12 @@ pub struct ReplayOutcome {
 
 impl Default for Segment {
     fn default() -> Self {
-        Segment { state: TlState::Deregistered, enter: None, exit: None, out_event: None }
+        Segment {
+            state: TlState::Deregistered,
+            enter: None,
+            exit: None,
+            out_event: None,
+        }
     }
 }
 
@@ -103,6 +112,141 @@ impl ReplayOutcome {
     pub fn is_conformant(&self) -> bool {
         self.violations.is_empty()
     }
+}
+
+/// A [`Violation`] attributed to the UE whose stream produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UeViolation {
+    /// The UE whose stream violated the protocol.
+    pub ue: cn_trace::UeId,
+    /// The violation itself.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for UeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.ue, self.violation)
+    }
+}
+
+/// Structured conformance diagnostics for a whole population trace —
+/// what a caller gets instead of a bare conformant/not-conformant bool.
+///
+/// Produced by [`replay_trace`]. Besides the verdict it carries every
+/// rejection with its UE and `(state, event)` pair, a rejection histogram
+/// for quick triage, and the pooled per-transition sojourn samples that
+/// model re-fitting needs — so one pass over the trace serves both the
+/// conformance gate and the statistical round trip.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PopulationReplay {
+    /// Number of distinct UEs replayed.
+    pub ue_count: usize,
+    /// Total number of events replayed.
+    pub total_events: usize,
+    /// Every protocol violation, with the offending UE.
+    pub violations: Vec<UeViolation>,
+    /// Pooled top-level sojourn observations across all UEs.
+    pub top_sojourns: Vec<SojournSample<TopTransition>>,
+    /// Pooled second-level sojourn observations across all UEs.
+    pub bottom_sojourns: Vec<SojournSample<BottomTransition>>,
+    /// Pooled censored bottom-state visits (see [`ReplayOutcome`]).
+    pub bottom_censored: Vec<(TlState, Timestamp)>,
+}
+
+impl PopulationReplay {
+    /// True when every event of every UE replayed legally.
+    pub fn is_conformant(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of events accepted by the machine.
+    pub fn accepted_events(&self) -> usize {
+        self.total_events - self.violations.len()
+    }
+
+    /// Fraction of events the machine accepted (1.0 for an empty trace).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.total_events == 0 {
+            1.0
+        } else {
+            self.accepted_events() as f64 / self.total_events as f64
+        }
+    }
+
+    /// Rejections grouped by `(state, event)`, most frequent first — the
+    /// shape of *how* a trace violates the protocol (e.g. all counts on
+    /// `(IDLE, HO)` is the EMM–ECM baseline's signature).
+    pub fn rejection_histogram(&self) -> Vec<((TlState, EventType), usize)> {
+        let mut counts: Vec<((TlState, EventType), usize)> = Vec::new();
+        for v in &self.violations {
+            let key = (v.violation.state, v.violation.event);
+            match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((key, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        counts
+    }
+
+    /// One-line human summary, e.g. for assertion messages.
+    pub fn summary(&self) -> String {
+        if self.is_conformant() {
+            format!(
+                "{} events from {} UEs, all conformant",
+                self.total_events, self.ue_count
+            )
+        } else {
+            let hist = self.rejection_histogram();
+            let head: Vec<String> = hist
+                .iter()
+                .take(3)
+                .map(|((s, e), n)| format!("{n}x {e} in {s}"))
+                .collect();
+            format!(
+                "{}/{} events rejected across {} UEs ({})",
+                self.violations.len(),
+                self.total_events,
+                self.ue_count,
+                head.join(", ")
+            )
+        }
+    }
+}
+
+/// Replay a time-sorted population trace, one UE at a time, and aggregate
+/// the outcomes into a [`PopulationReplay`].
+///
+/// Events are grouped by UE preserving trace order, so each UE's stream is
+/// time-sorted iff the input is (population traces produced by `cn-trace`
+/// and `cn-gen` guarantee this).
+pub fn replay_trace(records: &[TraceRecord]) -> PopulationReplay {
+    use std::collections::HashMap;
+    let mut by_ue: HashMap<cn_trace::UeId, Vec<TraceRecord>> = HashMap::new();
+    for r in records {
+        by_ue.entry(r.ue).or_default().push(*r);
+    }
+    let mut ues: Vec<cn_trace::UeId> = by_ue.keys().copied().collect();
+    ues.sort();
+
+    let mut pop = PopulationReplay {
+        ue_count: ues.len(),
+        total_events: records.len(),
+        ..Default::default()
+    };
+    for ue in ues {
+        let stream = &by_ue[&ue];
+        let out = replay_ue(stream);
+        pop.violations.extend(
+            out.violations
+                .into_iter()
+                .map(|violation| UeViolation { ue, violation }),
+        );
+        pop.top_sojourns.extend(out.top_sojourns);
+        pop.bottom_sojourns.extend(out.bottom_sojourns);
+        pop.bottom_censored.extend(out.bottom_censored);
+    }
+    pop
 }
 
 /// Infer the state a UE must have been in *before* its first event.
@@ -144,7 +288,12 @@ pub fn replay_ue(events: &[TraceRecord]) -> ReplayOutcome {
     // Entry times are unknown until the first transition into a state.
     let mut top_enter: Option<Timestamp> = None;
     let mut sub_enter: Option<Timestamp> = None;
-    let mut seg = Segment { state, enter: None, exit: None, out_event: None };
+    let mut seg = Segment {
+        state,
+        enter: None,
+        exit: None,
+        out_event: None,
+    };
 
     for (index, rec) in events.iter().enumerate() {
         let (event, t) = (rec.event, rec.t);
@@ -186,7 +335,12 @@ pub fn replay_ue(events: &[TraceRecord]) -> ReplayOutcome {
                 next
             }
             None => {
-                out.violations.push(Violation { index, state, event, t });
+                out.violations.push(Violation {
+                    index,
+                    state,
+                    event,
+                    t,
+                });
                 let idle_context = !matches!(state, TlState::Connected(_));
                 TlState::after_event(event, idle_context)
             }
@@ -196,7 +350,12 @@ pub fn replay_ue(events: &[TraceRecord]) -> ReplayOutcome {
         seg.exit = Some(t);
         seg.out_event = Some(event);
         out.segments.push(seg);
-        seg = Segment { state: next, enter: Some(t), exit: None, out_event: None };
+        seg = Segment {
+            state: next,
+            enter: Some(t),
+            exit: None,
+            out_event: None,
+        };
 
         if next.top() != state.top() {
             top_enter = Some(t);
@@ -255,9 +414,9 @@ mod tests {
         use EventType::*;
         let evs = stream(&[
             (0, Attach),
-            (5_000, S1ConnRelease),    // CONNECTED for 5 s
-            (25_000, ServiceRequest),  // IDLE for 20 s
-            (26_000, S1ConnRelease),   // CONNECTED for 1 s
+            (5_000, S1ConnRelease),   // CONNECTED for 5 s
+            (25_000, ServiceRequest), // IDLE for 20 s
+            (26_000, S1ConnRelease),  // CONNECTED for 1 s
         ]);
         let out = replay_ue(&evs);
         assert!(out.is_conformant());
@@ -363,7 +522,10 @@ mod tests {
         assert_eq!(v.state, TlState::Idle(IdleSub::S1RelS1));
         // Forced to HO_S (connected), so the final release is legal again.
         assert_eq!(out.violations.len(), 1);
-        assert_eq!(out.segments.last().unwrap().state, TlState::Idle(IdleSub::S1RelS1));
+        assert_eq!(
+            out.segments.last().unwrap().state,
+            TlState::Idle(IdleSub::S1RelS1)
+        );
     }
 
     #[test]
@@ -391,12 +553,58 @@ mod tests {
     fn initial_state_inference() {
         use EventType::*;
         assert_eq!(initial_state_for(Attach), TlState::Deregistered);
-        assert_eq!(initial_state_for(Handover), TlState::Connected(ConnSub::SrvReqS));
-        assert_eq!(initial_state_for(ServiceRequest), TlState::Idle(IdleSub::S1RelS1));
+        assert_eq!(
+            initial_state_for(Handover),
+            TlState::Connected(ConnSub::SrvReqS)
+        );
+        assert_eq!(
+            initial_state_for(ServiceRequest),
+            TlState::Idle(IdleSub::S1RelS1)
+        );
         // And the inferred states make the first event legal.
         for e in EventType::ALL {
             assert!(initial_state_for(e).apply(e).is_some(), "{e}");
         }
+    }
+
+    #[test]
+    fn population_replay_aggregates_per_ue() {
+        use EventType::*;
+        // UE 0 conformant, UE 1 fires HO in IDLE (one violation).
+        let mk =
+            |t, ue, e| TraceRecord::new(Timestamp::from_millis(t), UeId(ue), DeviceType::Phone, e);
+        let records = vec![
+            mk(0, 0, Attach),
+            mk(500, 1, Attach),
+            mk(1_000, 0, S1ConnRelease),
+            mk(1_500, 1, S1ConnRelease),
+            mk(2_000, 1, Handover), // illegal: UE 1 is IDLE
+            mk(3_000, 0, ServiceRequest),
+        ];
+        let pop = replay_trace(&records);
+        assert_eq!(pop.ue_count, 2);
+        assert_eq!(pop.total_events, 6);
+        assert!(!pop.is_conformant());
+        assert_eq!(pop.accepted_events(), 5);
+        assert!((pop.acceptance_rate() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(pop.violations.len(), 1);
+        assert_eq!(pop.violations[0].ue, UeId(1));
+        assert_eq!(pop.violations[0].violation.event, Handover);
+        let hist = pop.rejection_histogram();
+        assert_eq!(hist, vec![((TlState::Idle(IdleSub::S1RelS1), Handover), 1)]);
+        assert!(pop.summary().contains("rejected"));
+        // Sojourns pooled from both UEs: each had a measurable CONNECTED
+        // sojourn; UE 0 also has a measurable IDLE sojourn.
+        assert_eq!(pop.top_sojourns.len(), 3);
+    }
+
+    #[test]
+    fn population_replay_of_empty_trace() {
+        let pop = replay_trace(&[]);
+        assert!(pop.is_conformant());
+        assert_eq!(pop.acceptance_rate(), 1.0);
+        assert_eq!(pop.ue_count, 0);
+        assert!(pop.summary().contains("all conformant"));
     }
 
     #[test]

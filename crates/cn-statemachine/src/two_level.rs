@@ -291,9 +291,15 @@ mod tests {
     #[test]
     fn srv_req_only_from_s1_rel_states() {
         // Fig. 5 starred edge.
-        assert!(TlState::Idle(IdleSub::S1RelS1).apply(EventType::ServiceRequest).is_some());
-        assert!(TlState::Idle(IdleSub::S1RelS2).apply(EventType::ServiceRequest).is_some());
-        assert!(TlState::Idle(IdleSub::TauSIdle).apply(EventType::ServiceRequest).is_none());
+        assert!(TlState::Idle(IdleSub::S1RelS1)
+            .apply(EventType::ServiceRequest)
+            .is_some());
+        assert!(TlState::Idle(IdleSub::S1RelS2)
+            .apply(EventType::ServiceRequest)
+            .is_some());
+        assert!(TlState::Idle(IdleSub::TauSIdle)
+            .apply(EventType::ServiceRequest)
+            .is_none());
     }
 
     #[test]
@@ -375,9 +381,7 @@ mod tests {
                 let s = TlState::after_event(e, idle);
                 // The inferred state must be reachable: some predecessor
                 // state applies `e` into it.
-                let reachable = TlState::ALL
-                    .into_iter()
-                    .any(|p| p.apply(e) == Some(s));
+                let reachable = TlState::ALL.into_iter().any(|p| p.apply(e) == Some(s));
                 assert!(reachable, "{e} idle={idle} → {s}");
             }
         }

@@ -51,6 +51,8 @@ fn arbitrary_stream() -> impl Strategy<Value = Vec<TraceRecord>> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
     /// Legal walks replay with zero violations, and every sojourn duration
     /// is consistent with the event gaps.
     #[test]

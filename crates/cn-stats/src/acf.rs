@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_lag1() {
-        let bins: Vec<u32> = (0..1_000).map(|i| if i % 2 == 0 { 10 } else { 0 }).collect();
+        let bins: Vec<u32> = (0..1_000)
+            .map(|i| if i % 2 == 0 { 10 } else { 0 })
+            .collect();
         let acf = autocorrelation(&bins, 4).unwrap();
         assert!(acf.at(1).unwrap() < -0.9);
         assert!(acf.at(2).unwrap() > 0.9);

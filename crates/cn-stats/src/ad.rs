@@ -78,7 +78,12 @@ pub fn ad_test_exponential(samples: &[f64]) -> Option<AdOutcome> {
     }
     let a2 = -nf - sum / nf;
     let corrected = a2 * (1.0 + 0.6 / nf);
-    Some(AdOutcome { statistic: a2, corrected, n, fitted_rate: rate })
+    Some(AdOutcome {
+        statistic: a2,
+        corrected,
+        n,
+        fitted_rate: rate,
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +145,12 @@ mod tests {
 
     #[test]
     fn passes_uses_nearest_level() {
-        let out = AdOutcome { statistic: 1.0, corrected: 1.0, n: 100, fitted_rate: 1.0 };
+        let out = AdOutcome {
+            statistic: 1.0,
+            corrected: 1.0,
+            n: 100,
+            fitted_rate: 1.0,
+        };
         assert!(out.passes(0.05)); // 1.0 < 1.341
         assert!(!out.passes(0.15)); // 1.0 > 0.922
     }

@@ -91,7 +91,11 @@ mod tests {
         let truth = Exponential::new(0.25).unwrap();
         let samples: Vec<f64> = (0..100_000).map(|_| truth.sample(&mut rng)).collect();
         let fitted = Exponential::fit(&samples).unwrap();
-        assert!((fitted.rate() - 0.25).abs() / 0.25 < 0.02, "{}", fitted.rate());
+        assert!(
+            (fitted.rate() - 0.25).abs() / 0.25 < 0.02,
+            "{}",
+            fitted.rate()
+        );
     }
 
     #[test]

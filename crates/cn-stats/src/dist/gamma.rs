@@ -94,7 +94,11 @@ impl Gamma {
         if k < 1.0 {
             // X_k = X_{k+1} · U^{1/k}.
             let u: f64 = 1.0 - rng.gen::<f64>();
-            return Gamma { shape: k + 1.0, scale: self.scale }.sample(rng)
+            return Gamma {
+                shape: k + 1.0,
+                scale: self.scale,
+            }
+            .sample(rng)
                 * u.powf(1.0 / k);
         }
         let d = k - 1.0 / 3.0;
@@ -125,9 +129,7 @@ pub(crate) fn digamma(mut x: f64) -> f64 {
     let inv2 = inv * inv;
     result + x.ln()
         - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)))
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0)))
 }
 
 /// Trigamma function ψ′(x) (same shift-then-series scheme).
@@ -143,9 +145,7 @@ pub(crate) fn trigamma(mut x: f64) -> f64 {
         + inv
             * (1.0
                 + 0.5 * inv
-                + inv2
-                    * (1.0 / 6.0
-                        - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
+                + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))))
 }
 
 /// Regularized lower incomplete gamma `P(a, x)` (series for `x < a+1`,
@@ -168,7 +168,9 @@ fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
                 break;
             }
         }
-        (sum.ln() + a * x.ln() - x - ln_gamma_a).exp().clamp(0.0, 1.0)
+        (sum.ln() + a * x.ln() - x - ln_gamma_a)
+            .exp()
+            .clamp(0.0, 1.0)
     } else {
         // Continued fraction for Q(a, x) = 1 − P(a, x).
         let mut b = x + 1.0 - a;
@@ -254,14 +256,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let samples: Vec<f64> = (0..80_000).map(|_| truth.sample(&mut rng)).collect();
         let fitted = Gamma::fit(&samples).unwrap();
-        assert!((fitted.shape() - 3.2).abs() / 3.2 < 0.03, "{}", fitted.shape());
-        assert!((fitted.scale() - 0.7).abs() / 0.7 < 0.03, "{}", fitted.scale());
+        assert!(
+            (fitted.shape() - 3.2).abs() / 3.2 < 0.03,
+            "{}",
+            fitted.shape()
+        );
+        assert!(
+            (fitted.scale() - 0.7).abs() / 0.7 < 0.03,
+            "{}",
+            fitted.scale()
+        );
     }
 
     #[test]
     fn fit_rejects_bad_input() {
         assert!(matches!(Gamma::fit(&[]), Err(FitError::Empty)));
-        assert!(matches!(Gamma::fit(&[1.0, -1.0]), Err(FitError::InvalidSample)));
-        assert!(matches!(Gamma::fit(&[2.0, 2.0]), Err(FitError::Degenerate(_))));
+        assert!(matches!(
+            Gamma::fit(&[1.0, -1.0]),
+            Err(FitError::InvalidSample)
+        ));
+        assert!(matches!(
+            Gamma::fit(&[2.0, 2.0]),
+            Err(FitError::Degenerate(_))
+        ));
     }
 }

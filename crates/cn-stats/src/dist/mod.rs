@@ -103,23 +103,26 @@ impl Dist {
     /// Used by the 5G adaptation (§6): making handovers `k×` more frequent
     /// shrinks HO-related sojourn/inter-arrival times by `1/k`.
     pub fn scale_values(&self, factor: f64) -> Dist {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         match self {
             Dist::Exponential(d) => {
                 Dist::Exponential(Exponential::new(d.rate() / factor).expect("positive rate"))
             }
-            Dist::Pareto(d) => Dist::Pareto(
-                Pareto::new(d.shape(), d.scale() * factor).expect("positive scale"),
-            ),
-            Dist::Weibull(d) => Dist::Weibull(
-                Weibull::new(d.shape(), d.scale() * factor).expect("positive scale"),
-            ),
+            Dist::Pareto(d) => {
+                Dist::Pareto(Pareto::new(d.shape(), d.scale() * factor).expect("positive scale"))
+            }
+            Dist::Weibull(d) => {
+                Dist::Weibull(Weibull::new(d.shape(), d.scale() * factor).expect("positive scale"))
+            }
             Dist::LogNormal(d) => Dist::LogNormal(
                 LogNormal::new(d.mu() + factor.ln(), d.sigma()).expect("valid params"),
             ),
-            Dist::Gamma(d) => Dist::Gamma(
-                Gamma::new(d.shape(), d.scale() * factor).expect("positive scale"),
-            ),
+            Dist::Gamma(d) => {
+                Dist::Gamma(Gamma::new(d.shape(), d.scale() * factor).expect("positive scale"))
+            }
             Dist::Tcplib(d) => {
                 Dist::Tcplib(Tcplib::new(d.scale() * factor).expect("positive scale"))
             }

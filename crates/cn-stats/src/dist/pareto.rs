@@ -47,7 +47,10 @@ impl Pareto {
         if log_sum <= 0.0 {
             return Err(FitError::Degenerate("all samples equal".into()));
         }
-        Ok(Pareto { shape: n as f64 / log_sum, scale: xm })
+        Ok(Pareto {
+            shape: n as f64 / log_sum,
+            scale: xm,
+        })
     }
 
     /// CDF: `1 - (x_m / x)^α` for `x ≥ x_m`, else 0.
@@ -109,15 +112,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let samples: Vec<f64> = (0..100_000).map(|_| truth.sample(&mut rng)).collect();
         let fitted = Pareto::fit(&samples).unwrap();
-        assert!((fitted.shape() - 2.5).abs() / 2.5 < 0.02, "{}", fitted.shape());
-        assert!((fitted.scale() - 0.7).abs() / 0.7 < 0.01, "{}", fitted.scale());
+        assert!(
+            (fitted.shape() - 2.5).abs() / 2.5 < 0.02,
+            "{}",
+            fitted.shape()
+        );
+        assert!(
+            (fitted.scale() - 0.7).abs() / 0.7 < 0.01,
+            "{}",
+            fitted.scale()
+        );
     }
 
     #[test]
     fn fit_rejects_bad_input() {
         assert!(matches!(Pareto::fit(&[]), Err(FitError::Empty)));
         assert!(matches!(Pareto::fit(&[0.0]), Err(FitError::InvalidSample)));
-        assert!(matches!(Pareto::fit(&[3.0, 3.0]), Err(FitError::Degenerate(_))));
+        assert!(matches!(
+            Pareto::fit(&[3.0, 3.0]),
+            Err(FitError::Degenerate(_))
+        ));
     }
 
     #[test]

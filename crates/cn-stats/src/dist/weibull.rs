@@ -51,8 +51,11 @@ impl Weibull {
             return Err(FitError::InvalidSample);
         }
         let mean_ln: f64 = samples.iter().map(|&x| x.ln()).sum::<f64>() / n as f64;
-        let var_ln: f64 =
-            samples.iter().map(|&x| (x.ln() - mean_ln).powi(2)).sum::<f64>() / n as f64;
+        let var_ln: f64 = samples
+            .iter()
+            .map(|&x| (x.ln() - mean_ln).powi(2))
+            .sum::<f64>()
+            / n as f64;
         if var_ln < 1e-18 {
             return Err(FitError::Degenerate("all samples equal".into()));
         }
@@ -117,14 +120,14 @@ impl Weibull {
 pub(crate) fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -177,8 +180,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
         let fitted = Weibull::fit(&samples).unwrap();
-        assert!((fitted.shape() - 1.7).abs() / 1.7 < 0.03, "{}", fitted.shape());
-        assert!((fitted.scale() - 4.2).abs() / 4.2 < 0.03, "{}", fitted.scale());
+        assert!(
+            (fitted.shape() - 1.7).abs() / 1.7 < 0.03,
+            "{}",
+            fitted.shape()
+        );
+        assert!(
+            (fitted.scale() - 4.2).abs() / 4.2 < 0.03,
+            "{}",
+            fitted.scale()
+        );
     }
 
     #[test]
@@ -187,18 +198,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let samples: Vec<f64> = (0..50_000).map(|_| truth.sample(&mut rng)).collect();
         let fitted = Weibull::fit(&samples).unwrap();
-        assert!((fitted.shape() - 0.5).abs() / 0.5 < 0.05, "{}", fitted.shape());
+        assert!(
+            (fitted.shape() - 0.5).abs() / 0.5 < 0.05,
+            "{}",
+            fitted.shape()
+        );
     }
 
     #[test]
     fn fit_rejects_bad_input() {
         assert!(matches!(Weibull::fit(&[]), Err(FitError::Empty)));
-        assert!(matches!(Weibull::fit(&[1.0, 0.0]), Err(FitError::InvalidSample)));
-        assert!(matches!(Weibull::fit(&[2.0, 2.0]), Err(FitError::Degenerate(_))));
+        assert!(matches!(
+            Weibull::fit(&[1.0, 0.0]),
+            Err(FitError::InvalidSample)
+        ));
+        assert!(matches!(
+            Weibull::fit(&[2.0, 2.0]),
+            Err(FitError::Degenerate(_))
+        ));
     }
 
     #[test]
-    fn samples_positive(){
+    fn samples_positive() {
         let d = Weibull::new(0.8, 1.5).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1_000 {

@@ -48,8 +48,12 @@ pub enum Family {
 
 impl Family {
     /// The four families tested in the paper's Tables 8–10, in table order.
-    pub const PAPER_TABLE: [Family; 4] =
-        [Family::Poisson, Family::Pareto, Family::Weibull, Family::Tcplib];
+    pub const PAPER_TABLE: [Family; 4] = [
+        Family::Poisson,
+        Family::Pareto,
+        Family::Weibull,
+        Family::Tcplib,
+    ];
 
     /// Display name matching the paper's tables.
     pub fn name(self) -> &'static str {

@@ -46,8 +46,7 @@ pub fn hurst_aggregated_variance(bins: &[u32], min_blocks: usize) -> Option<Hurs
             })
             .collect();
         let grand = means.iter().sum::<f64>() / n_blocks as f64;
-        let var =
-            means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>() / n_blocks as f64;
+        let var = means.iter().map(|&x| (x - grand).powi(2)).sum::<f64>() / n_blocks as f64;
         if var > 0.0 {
             points.push(((m as f64).ln(), var.ln()));
         }
@@ -79,9 +78,17 @@ pub fn hurst_aggregated_variance(bins: &[u32], min_blocks: usize) -> Option<Hurs
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        0.0
+    };
 
-    Some(HurstEstimate { h, r_squared, scales: points.len() })
+    Some(HurstEstimate {
+        h,
+        r_squared,
+        scales: points.len(),
+    })
 }
 
 #[cfg(test)]
@@ -141,7 +148,11 @@ mod tests {
             }
         }
         let est = hurst_aggregated_variance(&bins, 8).unwrap();
-        assert!(est.h > 0.65, "H = {} (expected long-range dependence)", est.h);
+        assert!(
+            est.h > 0.65,
+            "H = {} (expected long-range dependence)",
+            est.h
+        );
     }
 
     #[test]
@@ -168,7 +179,11 @@ mod tests {
             bursty.h,
             shuffled.h
         );
-        assert!((shuffled.h - 0.5).abs() < 0.1, "shuffled H = {}", shuffled.h);
+        assert!(
+            (shuffled.h - 0.5).abs() < 0.1,
+            "shuffled H = {}",
+            shuffled.h
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub fn ks_test_cdf<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Option<KsOutco
         d = d.max(d_plus).max(d_minus);
     }
     let p = kolmogorov_p_value(d, n);
-    Some(KsOutcome { statistic: d, p_value: p, n })
+    Some(KsOutcome {
+        statistic: d,
+        p_value: p,
+        n,
+    })
 }
 
 /// Asymptotic p-value of the K–S statistic `d` for sample size `n`
@@ -107,7 +111,38 @@ pub fn two_sample_test(a: &[f64], b: &[f64]) -> Option<KsOutcome> {
     let n_eff = (a.len() * b.len()) as f64 / (a.len() + b.len()) as f64;
     let sqrt_n = n_eff.sqrt();
     let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
-    Some(KsOutcome { statistic: d, p_value: q_ks(lambda), n: a.len().min(b.len()) })
+    Some(KsOutcome {
+        statistic: d,
+        p_value: q_ks(lambda),
+        n: a.len().min(b.len()),
+    })
+}
+
+/// The critical two-sample K–S distance at significance `alpha` for sample
+/// sizes `n` and `m`: the smallest `D` for which [`two_sample_test`] would
+/// reject. Lets a gate report its margin ("measured D vs critical D")
+/// instead of a bare pass/fail.
+///
+/// Returns `None` for degenerate inputs (`alpha` outside `(0, 1)` or an
+/// empty sample).
+pub fn two_sample_critical_distance(alpha: f64, n: usize, m: usize) -> Option<f64> {
+    if !(0.0..1.0).contains(&alpha) || alpha == 0.0 || n == 0 || m == 0 {
+        return None;
+    }
+    let n_eff = (n * m) as f64 / (n + m) as f64;
+    let sqrt_n = n_eff.sqrt();
+    // Invert Q(λ) = alpha by bisection (Q is continuous and strictly
+    // decreasing on (0, ∞), from 1 to 0).
+    let (mut lo, mut hi) = (1e-9, 4.0);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if q_ks(mid) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi) / (sqrt_n + 0.12 + 0.11 / sqrt_n))
 }
 
 #[cfg(test)]
@@ -175,6 +210,32 @@ mod tests {
         assert_eq!(d, 0.0);
         let d2 = two_sample_distance(&[1.0, 2.0], &[10.0, 20.0]).unwrap();
         assert_eq!(d2, 1.0);
+    }
+
+    #[test]
+    fn critical_distance_matches_test_boundary() {
+        // A distance just below the critical value passes; just above fails.
+        let (n, m) = (400, 400);
+        let d_crit = two_sample_critical_distance(0.05, n, m).unwrap();
+        // Classic large-sample approximation: c(α)·√((n+m)/(n·m)),
+        // c(0.05) = 1.358.
+        let approx = 1.358 * ((n + m) as f64 / (n * m) as f64).sqrt();
+        assert!((d_crit - approx).abs() < 0.01, "{d_crit} vs {approx}");
+        // Consistency with the p-value: at D = d_crit, p ≈ alpha.
+        let n_eff = (n * m) as f64 / (n + m) as f64;
+        let p = kolmogorov_p_value(d_crit, n_eff.round() as usize);
+        assert!((p - 0.05).abs() < 0.01, "p at critical D = {p}");
+    }
+
+    #[test]
+    fn critical_distance_degenerate_inputs() {
+        assert!(two_sample_critical_distance(0.0, 10, 10).is_none());
+        assert!(two_sample_critical_distance(1.0, 10, 10).is_none());
+        assert!(two_sample_critical_distance(0.05, 0, 10).is_none());
+        // Stricter alpha demands a larger distance.
+        let strict = two_sample_critical_distance(0.01, 100, 100).unwrap();
+        let lax = two_sample_critical_distance(0.10, 100, 100).unwrap();
+        assert!(strict > lax);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub use dist::{Dist, Exponential, LogNormal, Pareto, Tcplib, Weibull};
 pub use ecdf::Ecdf;
 pub use fit::FitError;
 pub use hurst::{hurst_aggregated_variance, HurstEstimate};
-pub use ks::{ks_test, two_sample_distance, two_sample_test, KsOutcome};
+pub use ks::{
+    kolmogorov_p_value, ks_test, ks_test_cdf, two_sample_critical_distance, two_sample_distance,
+    two_sample_test, KsOutcome,
+};
 pub use summary::BoxStats;
 pub use variance_time::{variance_time_plot, VarianceTimePoint};

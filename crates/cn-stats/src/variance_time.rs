@@ -68,8 +68,7 @@ pub fn variance_time_plot(bins: &[u32], scales_secs: &[u64]) -> Vec<VarianceTime
         if grand_mean <= 0.0 {
             continue;
         }
-        let var =
-            means.iter().map(|&k| (k - grand_mean).powi(2)).sum::<f64>() / n_windows as f64;
+        let var = means.iter().map(|&k| (k - grand_mean).powi(2)).sum::<f64>() / n_windows as f64;
         out.push(VarianceTimePoint {
             scale_secs: m,
             normalized_variance: var / (grand_mean * grand_mean),

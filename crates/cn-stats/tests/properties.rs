@@ -20,6 +20,8 @@ fn arb_dist() -> impl Strategy<Value = Dist> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// CDFs are monotone non-decreasing and bounded in [0, 1].
     #[test]
     fn cdf_monotone_bounded(d in arb_dist(), mut xs in prop::collection::vec(-10.0f64..1000.0, 2..40)) {

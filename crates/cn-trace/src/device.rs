@@ -87,7 +87,11 @@ impl PopulationMix {
 
     /// Create a mix with the given per-type counts.
     pub fn new(phones: u32, connected_cars: u32, tablets: u32) -> Self {
-        PopulationMix { phones, connected_cars, tablets }
+        PopulationMix {
+            phones,
+            connected_cars,
+            tablets,
+        }
     }
 
     /// Total number of UEs.
@@ -109,7 +113,7 @@ impl PopulationMix {
     /// Used to build e.g. the paper's validation Scenario 1 (~38K UEs, 1×)
     /// and Scenario 2 (~380K UEs, 10×) populations from the modeled mix.
     pub fn scaled(&self, factor: f64) -> PopulationMix {
-        let s = |n: u32| ((f64::from(n) * factor).round() as u32).max(0);
+        let s = |n: u32| (f64::from(n) * factor).round() as u32;
         PopulationMix {
             phones: s(self.phones),
             connected_cars: s(self.connected_cars),

@@ -121,8 +121,7 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Trace, IoError> {
 /// Write a trace as JSON-lines (one [`TraceRecord`] object per line).
 pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), IoError> {
     for r in trace.iter() {
-        let line = serde_json::to_string(r)
-            .map_err(|e| IoError::Json(0, e.to_string()))?;
+        let line = serde_json::to_string(r).map_err(|e| IoError::Json(0, e.to_string()))?;
         writeln!(w, "{line}")?;
     }
     Ok(())
@@ -136,8 +135,8 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, IoError> {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: TraceRecord = serde_json::from_str(&line)
-            .map_err(|e| IoError::Json(i + 1, e.to_string()))?;
+        let rec: TraceRecord =
+            serde_json::from_str(&line).map_err(|e| IoError::Json(i + 1, e.to_string()))?;
         records.push(rec);
     }
     Ok(Trace::from_records(records))
@@ -232,7 +231,8 @@ impl<W: Write + std::io::Seek> BinaryStreamWriter<W> {
     /// Finalize: patch the record count into the header and return the
     /// sink.
     pub fn finish(mut self) -> Result<W, IoError> {
-        self.sink.seek(std::io::SeekFrom::Start(BINARY_MAGIC.len() as u64))?;
+        self.sink
+            .seek(std::io::SeekFrom::Start(BINARY_MAGIC.len() as u64))?;
         self.sink.write_all(&self.count.to_le_bytes())?;
         self.sink.seek(std::io::SeekFrom::End(0))?;
         self.sink.flush()?;

@@ -36,7 +36,7 @@ pub use device::{DeviceType, PopulationMix};
 pub use event::{EventCategory, EventType};
 pub use merge::LoserTree;
 pub use record::{TraceRecord, UeId};
-pub use time::{HourOfDay, Timestamp, MS_PER_DAY, MS_PER_HOUR, MS_PER_SEC};
 pub use summary::TraceSummary;
+pub use time::{HourOfDay, Timestamp, MS_PER_DAY, MS_PER_HOUR, MS_PER_SEC};
 pub use trace::{PerUeView, Trace};
 pub use validate::{check_well_formed, WellFormedError};

@@ -54,7 +54,11 @@ impl<T: Ord> LoserTree<T> {
         let k = heads.len();
         let live = heads.iter().filter(|h| h.is_some()).count();
         if k == 0 {
-            return LoserTree { heads, losers: Vec::new(), live };
+            return LoserTree {
+                heads,
+                losers: Vec::new(),
+                live,
+            };
         }
         // Bottom-up tournament in a complete-binary-tree layout: leaf `j`
         // sits at node `k + j`, internal nodes are `1..k`, the parent of
@@ -73,7 +77,11 @@ impl<T: Ord> LoserTree<T> {
             losers[node] = l;
         }
         losers[0] = winners[1];
-        LoserTree { heads, losers, live }
+        LoserTree {
+            heads,
+            losers,
+            live,
+        }
     }
 
     /// Index of the run holding the overall smallest head, or `None` when
@@ -179,8 +187,9 @@ mod tests {
         // Exercise every k in 1..=9 (non-powers-of-two stress the
         // complete-binary-tree index math).
         for k in 1..=9usize {
-            let runs: Vec<Vec<u64>> =
-                (0..k).map(|i| (0..5).map(|j| (j * k + i) as u64).collect()).collect();
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|i| (0..5).map(|j| (j * k + i) as u64).collect())
+                .collect();
             let merged = merge_sorted(&runs);
             let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
             expect.sort_unstable();
@@ -199,10 +208,9 @@ mod tests {
         // Both runs hold equal keys; a stable merge drains run 0 first at
         // every tie. Track provenance through a (key, run) pair ordered by
         // key only via merging indices manually.
-        let runs = vec![vec![(1u32, 'a'), (2, 'a')], vec![(1, 'b'), (2, 'b')]];
-        let mut cursors = vec![1usize; 2];
-        let mut tree =
-            LoserTree::new(vec![Some((1u32, 0usize)), Some((1, 1))]);
+        let runs = [vec![(1u32, 'a'), (2, 'a')], vec![(1, 'b'), (2, 'b')]];
+        let mut cursors = [1usize; 2];
+        let mut tree = LoserTree::new(vec![Some((1u32, 0usize)), Some((1, 1))]);
         let mut order = Vec::new();
         while let Some(w) = tree.winner() {
             let next = runs[w].get(cursors[w]).map(|&(key, _)| (key, w));
@@ -242,8 +250,8 @@ mod tests {
 
     #[test]
     fn live_tracks_unexhausted_runs() {
-        let runs = vec![vec![1u32], vec![2, 3]];
-        let mut cursors = vec![1usize; 2];
+        let runs = [vec![1u32], vec![2, 3]];
+        let mut cursors = [1usize; 2];
         let mut tree = LoserTree::new(vec![Some(1u32), Some(2)]);
         assert_eq!(tree.live(), 2);
         let mut live_seen = Vec::new();

@@ -54,7 +54,12 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// Construct a record.
     pub fn new(t: Timestamp, ue: UeId, device: DeviceType, event: EventType) -> Self {
-        TraceRecord { t, ue, device, event }
+        TraceRecord {
+            t,
+            ue,
+            device,
+            event,
+        }
     }
 }
 

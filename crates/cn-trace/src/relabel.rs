@@ -128,10 +128,14 @@ mod tests {
     fn timing_and_events_untouched() {
         let original = sample();
         for relabeled in [compact_ids(&original).0, pseudonymize(&original, 3).0] {
-            let a: Vec<(u64, EventType)> =
-                original.iter().map(|r| (r.t.as_millis(), r.event)).collect();
-            let b: Vec<(u64, EventType)> =
-                relabeled.iter().map(|r| (r.t.as_millis(), r.event)).collect();
+            let a: Vec<(u64, EventType)> = original
+                .iter()
+                .map(|r| (r.t.as_millis(), r.event))
+                .collect();
+            let b: Vec<(u64, EventType)> = relabeled
+                .iter()
+                .map(|r| (r.t.as_millis(), r.event))
+                .collect();
             assert_eq!(a, b);
         }
     }

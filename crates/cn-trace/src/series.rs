@@ -75,25 +75,43 @@ mod tests {
             rec(500, DeviceType::Phone, EventType::S1ConnRelease),
             rec(1_000, DeviceType::Tablet, EventType::ServiceRequest),
             rec(2_500, DeviceType::Phone, EventType::Tau),
-            rec(MS_PER_HOUR + 10, DeviceType::Phone, EventType::ServiceRequest),
+            rec(
+                MS_PER_HOUR + 10,
+                DeviceType::Phone,
+                EventType::ServiceRequest,
+            ),
         ])
     }
 
     #[test]
     fn count_series_bins_half_open() {
         let t = sample();
-        let bins = count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(3_000), 1_000);
+        let bins = count_series(
+            &t,
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(3_000),
+            1_000,
+        );
         assert_eq!(bins, vec![2, 1, 1]);
         // Partial last window included.
-        let bins = count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(2_600), 1_000);
+        let bins = count_series(
+            &t,
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(2_600),
+            1_000,
+        );
         assert_eq!(bins, vec![2, 1, 1]);
     }
 
     #[test]
     fn count_series_degenerate() {
         let t = sample();
-        assert!(count_series(&t, Timestamp::from_millis(5), Timestamp::from_millis(5), 10).is_empty());
-        assert!(count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(10), 0).is_empty());
+        assert!(
+            count_series(&t, Timestamp::from_millis(5), Timestamp::from_millis(5), 10).is_empty()
+        );
+        assert!(
+            count_series(&t, Timestamp::from_millis(0), Timestamp::from_millis(10), 0).is_empty()
+        );
     }
 
     #[test]
@@ -102,11 +120,8 @@ mod tests {
         let all = hour_of_day_profile(&t, None, None);
         assert_eq!(all[0], 4);
         assert_eq!(all[1], 1);
-        let phones_srv = hour_of_day_profile(
-            &t,
-            Some(DeviceType::Phone),
-            Some(EventType::ServiceRequest),
-        );
+        let phones_srv =
+            hour_of_day_profile(&t, Some(DeviceType::Phone), Some(EventType::ServiceRequest));
         assert_eq!(phones_srv[0], 1);
         assert_eq!(phones_srv[1], 1);
     }

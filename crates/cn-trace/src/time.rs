@@ -100,9 +100,7 @@ impl std::fmt::Display for Timestamp {
 }
 
 /// An hour of the day, 0–23.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct HourOfDay(pub u8);
 

@@ -20,12 +20,16 @@ pub struct Trace {
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
-        Trace { records: Vec::new() }
+        Trace {
+            records: Vec::new(),
+        }
     }
 
     /// An empty trace with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Trace { records: Vec::with_capacity(cap) }
+        Trace {
+            records: Vec::with_capacity(cap),
+        }
     }
 
     /// Build a trace from records in any order; they are sorted on entry.
@@ -119,7 +123,9 @@ impl Trace {
     pub fn window(&self, start: Timestamp, end: Timestamp) -> Trace {
         let lo = self.records.partition_point(|r| r.t < start);
         let hi = self.records.partition_point(|r| r.t < end);
-        Trace { records: self.records[lo..hi].to_vec() }
+        Trace {
+            records: self.records[lo..hi].to_vec(),
+        }
     }
 
     /// Group records by UE, preserving time order within each UE.
@@ -137,7 +143,10 @@ impl Trace {
             }
             spans.push((ue, start..i));
         }
-        PerUeView { records: by_ue, spans }
+        PerUeView {
+            records: by_ue,
+            spans,
+        }
     }
 
     /// Merge any number of sorted traces into one sorted trace (k-way merge).
@@ -216,9 +225,7 @@ impl Trace {
                 let t = if offset_ms >= 0 {
                     r.t.saturating_add(offset_ms as u64)
                 } else {
-                    Timestamp::from_millis(
-                        r.t.as_millis().saturating_sub(offset_ms.unsigned_abs()),
-                    )
+                    Timestamp::from_millis(r.t.as_millis().saturating_sub(offset_ms.unsigned_abs()))
                 };
                 TraceRecord::new(t, r.ue, r.device, r.event)
             })
@@ -352,8 +359,14 @@ mod tests {
 
     #[test]
     fn merge_interleaves() {
-        let a = Trace::from_records(vec![rec(10, 0, EventType::Attach), rec(30, 0, EventType::Tau)]);
-        let b = Trace::from_records(vec![rec(20, 1, EventType::Attach), rec(40, 1, EventType::Tau)]);
+        let a = Trace::from_records(vec![
+            rec(10, 0, EventType::Attach),
+            rec(30, 0, EventType::Tau),
+        ]);
+        let b = Trace::from_records(vec![
+            rec(20, 1, EventType::Attach),
+            rec(40, 1, EventType::Tau),
+        ]);
         let m = Trace::merge(vec![a, b]);
         let times: Vec<u64> = m.iter().map(|r| r.t.as_millis()).collect();
         assert_eq!(times, vec![10, 20, 30, 40]);
@@ -367,7 +380,10 @@ mod tests {
 
     #[test]
     fn merge_of_one_is_identity() {
-        let a = Trace::from_records(vec![rec(10, 0, EventType::Attach), rec(30, 0, EventType::Tau)]);
+        let a = Trace::from_records(vec![
+            rec(10, 0, EventType::Attach),
+            rec(30, 0, EventType::Tau),
+        ]);
         assert_eq!(Trace::merge(vec![a.clone()]), a);
         // Empty companions don't disturb the single-input fast path.
         assert_eq!(Trace::merge(vec![Trace::new(), a.clone(), Trace::new()]), a);
@@ -380,11 +396,13 @@ mod tests {
             rec(20, 0, EventType::Tau),
             rec(90, 0, EventType::Detach),
         ]);
-        let b = Trace::from_records(vec![rec(10, 1, EventType::Attach), rec(20, 1, EventType::Tau)]);
+        let b = Trace::from_records(vec![
+            rec(10, 1, EventType::Attach),
+            rec(20, 1, EventType::Tau),
+        ]);
         let m = Trace::merge(vec![a.clone(), b.clone()]);
         assert_eq!(m.len(), 5);
-        let mut expect: Vec<TraceRecord> =
-            a.iter().chain(b.iter()).copied().collect();
+        let mut expect: Vec<TraceRecord> = a.iter().chain(b.iter()).copied().collect();
         expect.sort_unstable();
         assert_eq!(m.records(), expect.as_slice());
     }
@@ -395,13 +413,14 @@ mod tests {
         let runs: Vec<Trace> = (0..7u32)
             .map(|i| {
                 Trace::from_records(
-                    (0..10u64).map(|j| rec(j * 7 + u64::from(i), i, EventType::Tau)).collect(),
+                    (0..10u64)
+                        .map(|j| rec(j * 7 + u64::from(i), i, EventType::Tau))
+                        .collect(),
                 )
             })
             .collect();
         let merged = Trace::merge(runs.clone());
-        let mut expect: Vec<TraceRecord> =
-            runs.iter().flat_map(|t| t.iter().copied()).collect();
+        let mut expect: Vec<TraceRecord> = runs.iter().flat_map(|t| t.iter().copied()).collect();
         expect.sort_unstable();
         assert_eq!(merged.records(), expect.as_slice());
     }

@@ -92,7 +92,10 @@ mod tests {
             rec(30, 0, DeviceType::ConnectedCar),
         ]);
         let errs = check_well_formed(&t);
-        assert_eq!(errs, vec![WellFormedError::InconsistentDevice { ue: UeId(0) }]);
+        assert_eq!(
+            errs,
+            vec![WellFormedError::InconsistentDevice { ue: UeId(0) }]
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
     #[test]
     fn from_records_is_sorted(recs in prop::collection::vec(arb_record(), 0..200)) {
         let t = Trace::from_records(recs);

@@ -1,0 +1,54 @@
+//! Deep verification run: round-trip recovery plus golden-trace gates.
+//!
+//! ```text
+//! cargo run --release -p cn-verify --bin verify_model [-- --quick]
+//! ```
+//!
+//! Runs the same checks as the test suite but at population scale
+//! (5,000 UEs over 12 simulated hours by default; `--quick` drops to the
+//! unit-test scale). Exits non-zero when any claim fails, so the binary can
+//! gate a release pipeline.
+
+use cn_verify::{check_pinned, run_golden, run_round_trip, GroundTruth, RoundTripConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let gt = GroundTruth::standard(11);
+    let cfg = if quick {
+        RoundTripConfig::quick(911)
+    } else {
+        RoundTripConfig::deep(911)
+    };
+
+    let rt = run_round_trip(&gt, &cfg);
+    print!("{}", rt.report.render());
+    if !rt.rejection_histogram.is_empty() {
+        println!("rejections:");
+        for (what, n) in &rt.rejection_histogram {
+            println!("  {n:>6}  {what}");
+        }
+    }
+
+    let golden = run_golden(&gt.set, &cn_verify::golden::standard_config());
+    print!("{}", golden.render());
+    let pinned_ok = match golden.hash() {
+        Some(hash) => match check_pinned("standard-v1", hash) {
+            Ok(()) => {
+                println!("pinned hash matches");
+                true
+            }
+            Err(e) => {
+                println!("{e}");
+                false
+            }
+        },
+        None => false,
+    };
+
+    if rt.all_pass() && golden.consistent && pinned_ok {
+        println!("verify_model: all gates hold");
+    } else {
+        println!("verify_model: FAILURES (see above)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Statistical round-trip validation and conformance-replay harness.
+//!
+//! The paper validates its model by comparing distributions of generated
+//! traffic against the modeled trace (§7, Tables 8–10). This crate closes
+//! that loop as an executable subsystem over a *fully known* ground truth:
+//!
+//! * [`model::GroundTruth`] — a synthetic single-cluster [`cn_fit::ModelSet`]
+//!   whose every branch probability and sojourn law is known exactly;
+//! * [`roundtrip::run_round_trip`] — generate a seeded population, demand
+//!   100% conformance under two-level replay, re-fit per-transition sojourn
+//!   laws from the replayed trace, and gate each against its ground truth
+//!   with the two-sample K–S test plus a probability tolerance band;
+//! * [`golden`] — pinned FNV-1a hashes of canonical trace bytes across the
+//!   batch/stream/sharded engines and thread/shard counts, catching any
+//!   unintended change to generator behavior or the vendored RNG stream;
+//! * [`verdict`] — the claim/measured/pass report shape shared with
+//!   `cn-eval`'s paper-claims table.
+//!
+//! Small configurations run under `cargo test`; the same checks run at
+//! depth via `cargo run --release -p cn-verify --bin verify_model`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod model;
+pub mod roundtrip;
+pub mod verdict;
+
+pub use golden::{check_pinned, fnv1a64, run_golden, trace_hash, GoldenCase, GoldenReport};
+pub use model::GroundTruth;
+pub use roundtrip::{run_round_trip, RoundTripConfig, RoundTripReport, TransitionCheck};
+pub use verdict::{Verdict, VerdictReport};

@@ -1,0 +1,81 @@
+//! Quick-scale integration tests of the verification harness itself.
+//!
+//! The acceptance-scale round trip (2,000 UEs over 6 hours) lives in the
+//! workspace root's `tests/round_trip.rs`; here the same machinery runs at
+//! a size suited to the inner development loop.
+
+use cn_verify::{check_pinned, run_golden, run_round_trip, GroundTruth, RoundTripConfig};
+
+#[test]
+fn quick_round_trip_recovers_the_model() {
+    let gt = GroundTruth::standard(11);
+    let report = run_round_trip(&gt, &RoundTripConfig::quick(911));
+    assert_eq!(
+        report.violations,
+        0,
+        "replay rejected events:\n{}",
+        report.report.render()
+    );
+    assert_eq!(report.acceptance_rate, 1.0);
+    // All 11 ground-truth transitions (5 top + 6 bottom) were observed and
+    // checked.
+    assert_eq!(report.checks.len(), 11);
+    assert!(report.all_pass(), "{}", report.report.render());
+}
+
+#[test]
+fn round_trip_is_deterministic() {
+    let gt = GroundTruth::standard(11);
+    let cfg = RoundTripConfig::quick(4242);
+    let a = run_round_trip(&gt, &cfg);
+    let b = run_round_trip(&gt, &cfg);
+    assert_eq!(a, b);
+    // A different generator seed draws a different trace.
+    let c = run_round_trip(&gt, &RoundTripConfig::quick(4243));
+    assert_ne!(a.generated_events, 0);
+    assert_ne!(
+        serde_json::to_string(&a.checks).unwrap(),
+        serde_json::to_string(&c.checks).unwrap()
+    );
+}
+
+#[test]
+fn golden_hashes_agree_across_engines_and_match_the_pin() {
+    let gt = GroundTruth::standard(11);
+    let report = run_golden(&gt.set, &cn_verify::golden::standard_config());
+    assert_eq!(report.cases.len(), 5);
+    assert!(report.consistent, "{}", report.render());
+    let hash = report.hash().expect("consistent");
+    check_pinned("standard-v1", hash).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn a_corrupted_trace_fails_conformance() {
+    use cn_statemachine::replay::replay_trace;
+    use cn_trace::{DeviceType, EventType, Timestamp, TraceRecord, UeId};
+    // HO while deregistered is illegal in the two-level machine.
+    let records = vec![
+        TraceRecord::new(
+            Timestamp::from_secs(1),
+            UeId(0),
+            DeviceType::Phone,
+            EventType::Attach,
+        ),
+        TraceRecord::new(
+            Timestamp::from_secs(2),
+            UeId(0),
+            DeviceType::Phone,
+            EventType::Detach,
+        ),
+        TraceRecord::new(
+            Timestamp::from_secs(3),
+            UeId(0),
+            DeviceType::Phone,
+            EventType::Handover,
+        ),
+    ];
+    let replay = replay_trace(&records);
+    assert!(!replay.is_conformant());
+    assert_eq!(replay.violations.len(), 1);
+    assert!(replay.acceptance_rate() < 1.0);
+}

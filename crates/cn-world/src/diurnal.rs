@@ -26,22 +26,27 @@ impl DiurnalCurve {
         multipliers
             .iter()
             .all(|m| m.is_finite() && *m >= 0.0)
-            .then_some(DiurnalCurve { multipliers, weekend: multipliers })
+            .then_some(DiurnalCurve {
+                multipliers,
+                weekend: multipliers,
+            })
     }
 
     /// Build with distinct weekday and weekend curves.
-    pub fn with_weekend(
-        multipliers: [f64; 24],
-        weekend: [f64; 24],
-    ) -> Option<DiurnalCurve> {
+    pub fn with_weekend(multipliers: [f64; 24], weekend: [f64; 24]) -> Option<DiurnalCurve> {
         let ok = |m: &[f64; 24]| m.iter().all(|x| x.is_finite() && *x >= 0.0);
-        (ok(&multipliers) && ok(&weekend))
-            .then_some(DiurnalCurve { multipliers, weekend })
+        (ok(&multipliers) && ok(&weekend)).then_some(DiurnalCurve {
+            multipliers,
+            weekend,
+        })
     }
 
     /// A flat curve (no diurnal variation).
     pub fn flat() -> DiurnalCurve {
-        DiurnalCurve { multipliers: [1.0; 24], weekend: [1.0; 24] }
+        DiurnalCurve {
+            multipliers: [1.0; 24],
+            weekend: [1.0; 24],
+        }
     }
 
     /// The weekday multiplier in effect during the given hour.
@@ -52,7 +57,11 @@ impl DiurnalCurve {
     /// The multiplier in effect at a point in time (weekend-aware; day 0
     /// is a Monday, so days ≡ 5, 6 (mod 7) are the weekend).
     pub fn at_time(&self, t: Timestamp) -> f64 {
-        let table = if t.day() % 7 >= 5 { &self.weekend } else { &self.multipliers };
+        let table = if t.day() % 7 >= 5 {
+            &self.weekend
+        } else {
+            &self.multipliers
+        };
         table[t.hour_of_day().index()]
     }
 
@@ -83,11 +92,13 @@ impl DiurnalCurve {
             // at night (swing ≈ 400×); weekends flatten into a midday hump.
             DeviceType::ConnectedCar => (
                 [
-                    0.015, 0.008, 0.005, 0.005, 0.01, 0.06, 0.50, 1.60, 1.90, 1.10, 0.85, 0.90, //
+                    0.015, 0.008, 0.005, 0.005, 0.01, 0.06, 0.50, 1.60, 1.90, 1.10, 0.85,
+                    0.90, //
                     1.00, 0.95, 0.95, 1.25, 1.80, 2.00, 1.70, 1.00, 0.55, 0.25, 0.10, 0.04,
                 ],
                 [
-                    0.02, 0.01, 0.006, 0.005, 0.008, 0.02, 0.08, 0.25, 0.60, 0.95, 1.20, 1.30, //
+                    0.02, 0.01, 0.006, 0.005, 0.008, 0.02, 0.08, 0.25, 0.60, 0.95, 1.20,
+                    1.30, //
                     1.30, 1.25, 1.20, 1.15, 1.10, 1.05, 0.95, 0.75, 0.50, 0.30, 0.15, 0.06,
                 ],
             ),
@@ -103,7 +114,10 @@ impl DiurnalCurve {
                 ],
             ),
         };
-        DiurnalCurve { multipliers, weekend }
+        DiurnalCurve {
+            multipliers,
+            weekend,
+        }
     }
 }
 

@@ -57,7 +57,9 @@ mod tests {
         let p = DeviceProfile::preset(DeviceType::ConnectedCar);
         let mut rng = StdRng::seed_from_u64(11);
         let n = 20_000;
-        let moving = (0..n).filter(|_| session_is_moving(&p.mobility, &mut rng)).count();
+        let moving = (0..n)
+            .filter(|_| session_is_moving(&p.mobility, &mut rng))
+            .count();
         let frac = moving as f64 / n as f64;
         assert!((frac - p.mobility.moving_prob).abs() < 0.02, "{frac}");
     }

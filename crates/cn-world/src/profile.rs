@@ -289,8 +289,7 @@ mod tests {
         for device in DeviceType::ALL {
             let p = DeviceProfile::preset(device);
             let n = 50_000;
-            let mean: f64 =
-                (0..n).map(|_| p.activity.sample(&mut rng)).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| p.activity.sample(&mut rng)).sum::<f64>() / n as f64;
             assert!((mean - 1.0).abs() < 0.1, "{device}: mean {mean}");
         }
     }
@@ -312,8 +311,7 @@ mod tests {
         assert!(car.mobility.moving_prob > phone.mobility.moving_prob);
         assert!(phone.mobility.moving_prob > tablet.mobility.moving_prob);
         assert!(
-            car.mobility.idle_crossing_rate_per_hour
-                > phone.mobility.idle_crossing_rate_per_hour
+            car.mobility.idle_crossing_rate_per_hour > phone.mobility.idle_crossing_rate_per_hour
         );
     }
 

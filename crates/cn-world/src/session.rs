@@ -112,7 +112,13 @@ mod tests {
         for _ in 0..200 {
             let gap = piecewise_exp_gap(
                 0.0,
-                |t| if t.hour_of_day().get() == 5 { 100.0 } else { 0.0 },
+                |t| {
+                    if t.hour_of_day().get() == 5 {
+                        100.0
+                    } else {
+                        0.0
+                    }
+                },
                 &mut rng,
             )
             .unwrap();
@@ -135,7 +141,13 @@ mod tests {
         let start = 4.0 * 3_600.0 + 1_800.0;
         let gap = piecewise_exp_gap(
             start,
-            |t| if t.hour_of_day().get() == 5 { 1_000.0 } else { 0.0 },
+            |t| {
+                if t.hour_of_day().get() == 5 {
+                    1_000.0
+                } else {
+                    0.0
+                }
+            },
             &mut rng,
         )
         .unwrap();
@@ -146,8 +158,9 @@ mod tests {
     fn durations_positive_and_heavy_tailed() {
         let p = DeviceProfile::preset(DeviceType::Phone);
         let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<f64> =
-            (0..50_000).map(|_| sample_duration(&p.session, &mut rng)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| sample_duration(&p.session, &mut rng))
+            .collect();
         assert!(samples.iter().all(|&d| d > 0.0));
         let max = samples.iter().copied().fold(0.0, f64::max);
         // The Pareto tail should reach well past 1000 s in 50k draws.

@@ -108,11 +108,9 @@ impl UeSim<'_> {
     fn run(&mut self, rng: &mut StdRng) {
         let mut now = 0.0f64;
         // Desynchronize periodic TAU timers across UEs.
-        let mut idle_since =
-            now - rng.gen::<f64>() * self.profile.mobility.periodic_tau_secs;
+        let mut idle_since = now - rng.gen::<f64>() * self.profile.mobility.periodic_tau_secs;
         let mut next_power_off = now + self.power_gap(rng);
-        let mut pending_session =
-            self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
+        let mut pending_session = self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
         let mut pending_trip = self.next_trip_time(now, rng).unwrap_or(f64::INFINITY);
 
         while now < self.horizon_secs {
@@ -127,7 +125,10 @@ impl UeSim<'_> {
             let periodic = idle_since + self.profile.mobility.periodic_tau_secs;
             let next_tau = crossing.min(periodic.max(now));
 
-            let next = pending_session.min(next_tau).min(next_power_off).min(pending_trip);
+            let next = pending_session
+                .min(next_tau)
+                .min(next_power_off)
+                .min(pending_trip);
             if next >= self.horizon_secs {
                 break;
             }
@@ -137,13 +138,11 @@ impl UeSim<'_> {
                 now = self.power_cycle(next, rng);
                 idle_since = now;
                 next_power_off = now + self.power_gap(rng);
-                pending_session =
-                    self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
+                pending_session = self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
                 pending_trip = self.next_trip_time(now, rng).unwrap_or(f64::INFINITY);
             } else if next == pending_trip {
                 // A trip: a long connected period with a dense HO run.
-                let (end, powered_off) =
-                    self.run_session(pending_trip, next_power_off, rng, true);
+                let (end, powered_off) = self.run_session(pending_trip, next_power_off, rng, true);
                 now = end;
                 idle_since = now;
                 if powered_off {
@@ -153,21 +152,18 @@ impl UeSim<'_> {
                 }
                 pending_trip = self.next_trip_time(now, rng).unwrap_or(f64::INFINITY);
                 if pending_session <= now {
-                    pending_session =
-                        self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
+                    pending_session = self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
                 }
             } else if next == next_tau {
                 // Idle TAU: atomic TAU → S1_CONN_REL pair.
-                let release = next
-                    + mobility::idle_tau_release_delay(&self.profile.mobility, rng);
+                let release = next + mobility::idle_tau_release_delay(&self.profile.mobility, rng);
                 if next_power_off > next && next_power_off <= release {
                     // Power-off interrupts before the release.
                     self.emit(next, EventType::Tau);
                     now = self.power_cycle(next_power_off, rng);
                     idle_since = now;
                     next_power_off = now + self.power_gap(rng);
-                    pending_session =
-                        self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
+                    pending_session = self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
                     pending_trip = self.next_trip_time(now, rng).unwrap_or(f64::INFINITY);
                 } else {
                     self.emit(next, EventType::Tau);
@@ -190,8 +186,7 @@ impl UeSim<'_> {
                     idle_since = now;
                     next_power_off = now + self.power_gap(rng);
                 }
-                pending_session =
-                    self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
+                pending_session = self.next_session_time(now, rng).unwrap_or(f64::INFINITY);
                 if pending_trip <= now {
                     pending_trip = self.next_trip_time(now, rng).unwrap_or(f64::INFINITY);
                 }

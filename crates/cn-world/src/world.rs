@@ -126,7 +126,10 @@ pub fn generate_world(config: &WorldConfig) -> Trace {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope panicked");
 

@@ -42,14 +42,31 @@ fn breakdown_shape_matches_table1() {
             s[idx(EventType::S1ConnRelease)],
             s[idx(EventType::ServiceRequest)]
         );
-        assert!(s[idx(EventType::Attach)] < 0.05, "{device}: ATCH {}", s[idx(EventType::Attach)]);
-        assert!(s[idx(EventType::Detach)] < 0.07, "{device}: DTCH {}", s[idx(EventType::Detach)]);
+        assert!(
+            s[idx(EventType::Attach)] < 0.05,
+            "{device}: ATCH {}",
+            s[idx(EventType::Attach)]
+        );
+        assert!(
+            s[idx(EventType::Detach)] < 0.07,
+            "{device}: DTCH {}",
+            s[idx(EventType::Detach)]
+        );
     }
     let ho = |d: DeviceType| shares[d.code() as usize][idx(EventType::Handover)];
     let tau = |d: DeviceType| shares[d.code() as usize][idx(EventType::Tau)];
-    assert!(ho(DeviceType::ConnectedCar) > ho(DeviceType::Phone), "car HO ≤ phone HO");
-    assert!(ho(DeviceType::Phone) > ho(DeviceType::Tablet), "phone HO ≤ tablet HO");
-    assert!(tau(DeviceType::ConnectedCar) > tau(DeviceType::Phone), "car TAU ≤ phone TAU");
+    assert!(
+        ho(DeviceType::ConnectedCar) > ho(DeviceType::Phone),
+        "car HO ≤ phone HO"
+    );
+    assert!(
+        ho(DeviceType::Phone) > ho(DeviceType::Tablet),
+        "phone HO ≤ tablet HO"
+    );
+    assert!(
+        tau(DeviceType::ConnectedCar) > tau(DeviceType::Phone),
+        "car TAU ≤ phone TAU"
+    );
     assert!(
         shares[DeviceType::ConnectedCar.code() as usize][idx(EventType::Attach)]
             > shares[DeviceType::Phone.code() as usize][idx(EventType::Attach)],
@@ -61,7 +78,10 @@ fn breakdown_shape_matches_table1() {
 #[ignore = "diagnostic table dump for manual calibration"]
 fn print_breakdown() {
     let shares = breakdown(7.0, 2024);
-    println!("{:<14} {:>7} {:>7} {:>8} {:>12} {:>7} {:>7}", "device", "ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU");
+    println!(
+        "{:<14} {:>7} {:>7} {:>8} {:>12} {:>7} {:>7}",
+        "device", "ATCH", "DTCH", "SRV_REQ", "S1_CONN_REL", "HO", "TAU"
+    );
     for device in DeviceType::ALL {
         let s = shares[device.code() as usize];
         println!(

@@ -6,11 +6,9 @@ use cn_world::{generate_world, WorldConfig};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = WorldConfig> {
-    (1u32..15, 0u32..8, 0u32..6, 1u64..10_000, 1u32..73).prop_map(
-        |(p, c, t, seed, hours)| {
-            WorldConfig::new(PopulationMix::new(p, c, t), f64::from(hours) / 24.0, seed)
-        },
-    )
+    (1u32..15, 0u32..8, 0u32..6, 1u64..10_000, 1u32..73).prop_map(|(p, c, t, seed, hours)| {
+        WorldConfig::new(PopulationMix::new(p, c, t), f64::from(hours) / 24.0, seed)
+    })
 }
 
 proptest! {

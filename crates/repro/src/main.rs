@@ -16,10 +16,10 @@
 //! ```
 
 use cn_eval::experiments;
-use std::io::Write;
 use cn_eval::lab::{scale_summary, Scenario};
 use cn_eval::{ExperimentConfig, Lab, Table};
 use cn_trace::{DeviceType, EventType};
+use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: repro [--scale quick|default|paper] [--seed N] [--format text|markdown|csv] [--out FILE] <experiment>...
@@ -150,11 +150,7 @@ fn main() -> ExitCode {
             }
             "summary" => {
                 let world = lab.world();
-                let _ = writeln!(
-                    sink,
-                    "world: {}\n",
-                    cn_trace::TraceSummary::of(world)
-                );
+                let _ = writeln!(sink, "world: {}\n", cn_trace::TraceSummary::of(world));
                 let inv = cn_fit::inspect::inventory(lab.models(cn_fit::Method::Ours));
                 let _ = writeln!(
                     sink,

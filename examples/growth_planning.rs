@@ -44,8 +44,7 @@ fn main() {
         let trace = generate(&models, &config);
         let summary = TraceSummary::of(&trace);
         let nf = nf_load(&trace, &TransactionMatrix::default_epc());
-        let workers = min_workers(&trace, service)
-            .map_or("-".into(), |w| w.to_string());
+        let workers = min_workers(&trace, service).map_or("-".into(), |w| w.to_string());
         println!(
             "{:>5}x {:>9} {:>8} {:>12.1} {:>12.1} | {}",
             scale,

@@ -12,7 +12,10 @@ use cellular_cp_traffgen::prelude::*;
 fn main() {
     // 1. Ground truth: 2 simulated days of 350 UEs.
     let model_mix = PopulationMix::new(220, 85, 45);
-    println!("simulating ground-truth world ({} UEs, 2 days)...", model_mix.total());
+    println!(
+        "simulating ground-truth world ({} UEs, 2 days)...",
+        model_mix.total()
+    );
     let world = generate_world(&WorldConfig::new(model_mix, 2.0, 7));
     println!("  {} events", world.len());
 
@@ -20,14 +23,24 @@ fn main() {
     //    CDFs — Table 3's "Ours").
     println!("fitting the two-level Semi-Markov model...");
     let models = fit(&world, &FitConfig::new(Method::Ours));
-    println!("  {} cluster-hour models instantiated", models.model_count());
+    println!(
+        "  {} cluster-hour models instantiated",
+        models.model_count()
+    );
 
     // 3. Synthesize one busy hour for a 3× larger population.
     let synth_mix = model_mix.scaled(3.0);
-    println!("synthesizing busy-hour trace for {} UEs...", synth_mix.total());
+    println!(
+        "synthesizing busy-hour trace for {} UEs...",
+        synth_mix.total()
+    );
     let config = GenConfig::new(synth_mix, Timestamp::at_hour(0, 18), 1.0, 99);
     let synthetic = generate(&models, &config);
-    println!("  {} events from {} active UEs", synthetic.len(), synthetic.ues().len());
+    println!(
+        "  {} events from {} active UEs",
+        synthetic.len(),
+        synthetic.ues().len()
+    );
 
     // 4. Compare breakdowns (real busy hour vs synthesized busy hour).
     let real_busy = world.window(Timestamp::at_hour(0, 18), Timestamp::at_hour(0, 19));

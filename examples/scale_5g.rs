@@ -21,7 +21,10 @@ fn main() {
     // A custom profile, e.g. a denser small-cell deployment: HO ×7.
     let dense = adapt_model(
         &lte,
-        &ScalingProfile { mode: FiveGMode::Nsa, ho_factor: 7.0 },
+        &ScalingProfile {
+            mode: FiveGMode::Nsa,
+            ho_factor: 7.0,
+        },
     );
 
     let synth = |models: &ModelSet, seed: u64| {
@@ -43,7 +46,10 @@ fn main() {
         print!("{:<18} {:>9} |", name, trace.len());
         for device in DeviceType::ALL {
             let shares = breakdown_simple(trace, device);
-            print!("{:>7.1}%", shares[EventType::Handover.code() as usize] * 100.0);
+            print!(
+                "{:>7.1}%",
+                shares[EventType::Handover.code() as usize] * 100.0
+            );
         }
         println!();
     }

@@ -64,8 +64,8 @@ fn main() -> std::io::Result<()> {
 
     // Read back and summarize — the interchange formats round-trip.
     let data = std::fs::read(&path)?;
-    let trace = cellular_cp_traffgen::trace::io::read_csv(&data[..])
-        .expect("re-read what we just wrote");
+    let trace =
+        cellular_cp_traffgen::trace::io::read_csv(&data[..]).expect("re-read what we just wrote");
     println!("\n{}", TraceSummary::of(&trace));
     assert_eq!(trace.len() as u64, written);
     std::fs::remove_file(&path)?;

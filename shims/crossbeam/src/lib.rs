@@ -1,0 +1,97 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the surface this workspace uses: `crossbeam::thread::scope` with
+//! `Scope::spawn`, layered over `std::thread::scope` (stable since 1.63).
+//! The visible difference from std is crossbeam's signature: `scope` returns
+//! a `Result` and spawn closures receive a `&Scope` argument for nested
+//! spawning.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked scope (matches `crossbeam`'s shape).
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle that allows spawning borrowed-data threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: a `#[derive]` would put bounds on the lifetimes' uses.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread and return its result.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned.
+    ///
+    /// All spawned threads are joined before this returns. Unlike crossbeam
+    /// (which collects child panics into the `Err` payload), a panicking
+    /// child here propagates through `std::thread::scope` — equivalent
+    /// behavior for workloads that `unwrap()` the result, which is how this
+    /// workspace uses it.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n: u32 = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

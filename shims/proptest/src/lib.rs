@@ -1,0 +1,703 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace uses on top
+//! of a fully deterministic runner:
+//!
+//! - every test derives its base seed from a stable FNV-1a hash of its
+//!   module path and name, so runs are reproducible across machines and CI
+//!   with no hidden OS entropy;
+//! - `PROPTEST_SEED=<u64>` overrides the base seed for exploratory fuzzing;
+//! - `PROPTEST_CASES=<n>` overrides the per-test case count;
+//! - failures append a `cc 0x<seed>` line to
+//!   `<crate>/proptest-regressions/<file>.txt` (the same convention as
+//!   upstream), and those seeds are always replayed first.
+//!
+//! Shrinking is intentionally not implemented: with deterministic seeds a
+//! failure is already reproducible, and the value printed in the panic is
+//! the exact counterexample.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Retry (up to a bounded number of times) until `f` accepts.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                f,
+                reason,
+            }
+        }
+
+        /// Chain a dependent strategy.
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Object-safe type-erased strategy.
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) reason: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// `prop_flat_map` combinator.
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+        fn generate(&self, rng: &mut StdRng) -> O::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::RngCore;
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        (int: $($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(int: u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Build the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy behind `any::<T>()`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen()
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uniform!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            use rand::Rng;
+            // Finite, sign-symmetric, spanning many magnitudes.
+            let mag = rng.gen_range(-300.0..300.0f64);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * 10f64.powf(mag / 10.0)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = Any<f64>;
+        fn arbitrary() -> Any<f64> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<()> {
+        type Value = ();
+        fn generate(&self, _rng: &mut StdRng) {}
+    }
+
+    impl Arbitrary for () {
+        type Strategy = Any<()>;
+        fn arbitrary() -> Any<()> {
+            Any(std::marker::PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Size specification for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Per-suite configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Optional fixed base seed (otherwise derived from the test name).
+        pub seed: Option<u64>,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    /// Upstream spells the config type `ProptestConfig`.
+    pub type ProptestConfig = Config;
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 64,
+                seed: None,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl Config {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Config {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Property violated.
+        Fail(String),
+        /// Case rejected (e.g. `prop_assume!`); does not count as failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl fmt::Display) -> TestCaseError {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl fmt::Display) -> TestCaseError {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+
+    /// Per-case result type used by generated closures.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Stable FNV-1a, the base-seed derivation for deterministic runs.
+    fn fnv1a(data: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in data.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// The deterministic case runner behind the `proptest!` macro.
+    pub struct TestRunner {
+        config: Config,
+        name: String,
+        regression_file: Option<PathBuf>,
+    }
+
+    impl TestRunner {
+        /// Create a runner for one named test.
+        ///
+        /// `manifest_dir` and `source_file` locate the regression file:
+        /// `<manifest_dir>/proptest-regressions/<source stem>.txt`.
+        pub fn new(
+            config: Config,
+            name: &str,
+            manifest_dir: &str,
+            source_file: &str,
+        ) -> TestRunner {
+            let stem = std::path::Path::new(source_file)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned());
+            let regression_file = stem.map(|s| {
+                PathBuf::from(manifest_dir)
+                    .join("proptest-regressions")
+                    .join(format!("{s}.txt"))
+            });
+            TestRunner {
+                config,
+                name: name.to_string(),
+                regression_file,
+            }
+        }
+
+        fn base_seed(&self) -> u64 {
+            if let Ok(env_seed) = std::env::var("PROPTEST_SEED") {
+                let parsed = env_seed
+                    .strip_prefix("0x")
+                    .map(|hex| u64::from_str_radix(hex, 16))
+                    .unwrap_or_else(|| env_seed.parse::<u64>());
+                if let Ok(seed) = parsed {
+                    return seed;
+                }
+                panic!("PROPTEST_SEED must be a u64 (decimal or 0x-hex), got `{env_seed}`");
+            }
+            self.config.seed.unwrap_or_else(|| fnv1a(&self.name))
+        }
+
+        fn cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.config.cases)
+        }
+
+        /// Seeds pinned in the regression file, replayed before random cases.
+        fn regression_seeds(&self) -> Vec<u64> {
+            let Some(path) = &self.regression_file else {
+                return Vec::new();
+            };
+            let Ok(text) = std::fs::read_to_string(path) else {
+                return Vec::new();
+            };
+            text.lines()
+                .filter_map(|line| {
+                    let rest = line.trim().strip_prefix("cc ")?;
+                    let token = rest.split_whitespace().next()?;
+                    token
+                        .strip_prefix("0x")
+                        .map(|hex| u64::from_str_radix(hex, 16).ok())
+                        .unwrap_or_else(|| token.parse::<u64>().ok())
+                })
+                .collect()
+        }
+
+        fn persist_failure(&self, seed: u64) {
+            let Some(path) = &self.regression_file else {
+                return;
+            };
+            if self.regression_seeds().contains(&seed) {
+                return;
+            }
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let header_needed = !path.exists();
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                if header_needed {
+                    let _ = writeln!(
+                        file,
+                        "# Seeds for failure cases found by the proptest shim. It is\n\
+                         # recommended to check this file in to source control so that\n\
+                         # everyone who runs the test benefits from these saved cases."
+                    );
+                }
+                let _ = writeln!(file, "cc 0x{seed:016x} # {}", self.name);
+            }
+        }
+
+        fn run_case<S, F>(&self, strategy: &S, test: &F, seed: u64, origin: &str)
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            let rendered = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    self.persist_failure(seed);
+                    panic!(
+                        "proptest: {} failed ({origin}, seed 0x{seed:016x})\n  input: {}\n  {msg}",
+                        self.name, rendered
+                    );
+                }
+                Err(payload) => {
+                    self.persist_failure(seed);
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic".to_string());
+                    panic!(
+                        "proptest: {} panicked ({origin}, seed 0x{seed:016x})\n  input: {}\n  {msg}",
+                        self.name, rendered
+                    );
+                }
+            }
+        }
+
+        /// Replay pinned regression seeds, then run `config.cases` fresh
+        /// deterministic cases.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: Strategy,
+            S::Value: fmt::Debug,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            for seed in self.regression_seeds() {
+                self.run_case(strategy, &test, seed, "regression");
+            }
+            let mut state = self.base_seed();
+            for case in 0..self.cases() {
+                // SplitMix-style sequence so case seeds are decorrelated.
+                state = state
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xD1B5_4A32_D192_ED03);
+                let seed = state ^ u64::from(case);
+                self.run_case(strategy, &test, seed, "generated");
+            }
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{
+        Config, ProptestConfig, TestCaseError, TestCaseResult, TestRunner,
+    };
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias used as `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Assert a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Discard the current case without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define deterministic property tests. Supports the upstream surface this
+/// workspace uses: an optional `#![proptest_config(...)]` header and `fn`
+/// items whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident ($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strategy,)+);
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                );
+                runner.run(&strategy, |values| {
+                    let ($($pat,)+) = values;
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

@@ -1,0 +1,363 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the *API subset it actually uses* behind the same crate name. The stream
+//! is produced by xoshiro256++ seeded through SplitMix64 — high quality and
+//! fully deterministic, but **not** bit-compatible with upstream `rand`'s
+//! `StdRng`. Nothing in this workspace relies on upstream's exact stream;
+//! golden hashes are pinned against *this* implementation.
+//!
+//! Supported surface: `Rng::{gen, gen_range, gen_bool, fill}`, `RngCore`,
+//! `SeedableRng::{from_seed, seed_from_u64}`, `rngs::StdRng`,
+//! `seq::SliceRandom::{shuffle, choose}`, and `distributions::Standard`.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically constructible RNGs.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a 64-bit seed by expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let v = splitmix64(&mut state);
+            let bytes = v.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence (used for seed expansion).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_words(s: [u64; 4]) -> StdRng {
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                }
+            } else {
+                StdRng { s }
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut words = [0u64; 4];
+            for (w, chunk) in words.iter_mut().zip(seed.chunks_exact(8)) {
+                *w = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng::from_words(words)
+        }
+    }
+
+    /// Alias kept for API compatibility.
+    pub type SmallRng = StdRng;
+}
+
+/// Types `gen_range` can sample uniformly. Mirrors upstream's
+/// `SampleUniform` so that `Range<T>`/`RangeInclusive<T>` get a *single
+/// generic* [`SampleRange`] impl — per-type range impls would break type
+/// inference at call sites like `x + rng.gen_range(-2.0..2.0)`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_excl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_incl<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Uniform sampling from range expressions (the `gen_range` argument).
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_excl(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_incl(lo, hi, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_excl<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+            fn sample_incl<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_excl<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (hi - lo) * unit as $t
+            }
+            fn sample_incl<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                lo + (hi - lo) * unit as $t
+            }
+        }
+    )*};
+}
+float_sample_uniform!(f32, f64);
+
+/// Standard distributions for `Rng::gen`.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Sample one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" uniform distribution of a type: floats in `[0, 1)`,
+    /// integers over their whole domain, fair booleans.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_standard {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Sequence-related helpers (`shuffle`, `choose`).
+pub mod seq {
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick a reference to one element (`None` when empty).
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+/// A process-global, OS-seeded RNG is deliberately **not** random here:
+/// reproducibility is a feature of this workspace, so `thread_rng` returns a
+/// fixed-seeded [`rngs::StdRng`].
+pub fn thread_rng() -> rngs::StdRng {
+    SeedableRng::seed_from_u64(0x5E_ED_0F_7E_57)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_constructions() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use super::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

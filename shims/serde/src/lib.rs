@@ -1,0 +1,502 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach crates.io, so the workspace vendors a small
+//! serialization framework under the `serde` crate name. Unlike real serde's
+//! visitor architecture, this shim round-trips everything through one
+//! self-describing [`Value`] tree (the JSON data model plus distinct integer
+//! variants). `shims/serde_derive` provides `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for the struct/enum shapes this workspace uses,
+//! and `shims/serde_json` renders/parses the textual form.
+//!
+//! Conventions (stable — golden files depend on them):
+//! - structs → objects with fields in declaration order
+//! - newtype structs and `#[serde(transparent)]` → the inner value
+//! - unit enum variants → `"VariantName"`
+//! - data-carrying variants → externally tagged: `{"Variant": ...}`
+//! - maps → objects when every key serializes to a string, else arrays of
+//!   `[key, value]` pairs
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+/// The self-describing intermediate tree all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, fits i64).
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Value>),
+    /// JSON object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object fields if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn msg(msg: impl fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "expected X, found Y" convenience constructor.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        DeError::msg(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the intermediate tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the intermediate tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Owned deserialization — with a value-tree model every [`Deserialize`] is
+/// owned, so this is a blanket alias kept for API compatibility.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// `serde::de` module as upstream spells it.
+pub mod de {
+    pub use crate::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` module as upstream spells it.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Look up a required field of an object.
+pub fn obj_field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::msg(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let wide: u128 = match v {
+                    Value::Int(i) if *i >= 0 => *i as u128,
+                    Value::UInt(u) => *u as u128,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u128,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::msg(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    // serde_json renders non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// Deserializing into `&'static str` (used by static descriptor structs)
+/// has no borrow source in a value-tree model, so the string is leaked.
+/// Fine for the rare, tiny descriptor strings this workspace round-trips;
+/// do not use for bulk data.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| DeError::msg(format!("expected {N} elements, found {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                let items = v.as_arr().ok_or_else(|| DeError::expected("tuple array", v))?;
+                if items.len() != $len {
+                    return Err(DeError::msg(format!(
+                        "expected {}-tuple, found array of {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+impl_tuple!(6 => A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Maps serialize as objects when every key renders as a string, otherwise
+/// as an array of `[key, value]` pairs.
+fn map_to_value(entries: Vec<(Value, Value)>) -> Value {
+    let all_str = entries.iter().all(|(k, _)| matches!(k, Value::Str(_)));
+    if all_str {
+        Value::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::Str(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Arr(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Arr(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn map_entry_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<(K, V), DeError> {
+    let pair = v
+        .as_arr()
+        .ok_or_else(|| DeError::expected("[key, value] pair", v))?;
+    if pair.len() != 2 {
+        return Err(DeError::msg("map entry must be a [key, value] pair"));
+    }
+    Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+}
+
+fn map_from_value<K: Deserialize, V: Deserialize>(v: &Value) -> Result<Vec<(K, V)>, DeError> {
+    match v {
+        Value::Obj(fields) => fields
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?)))
+            .collect(),
+        Value::Arr(items) => items.iter().map(map_entry_from_value).collect(),
+        other => Err(DeError::expected("map", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort by rendered key for deterministic output.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| format!("{a:?}").cmp(&format!("{b:?}")));
+        map_to_value(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<HashMap<K, V, S>, DeError> {
+        Ok(map_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        map_to_value(entries)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        Ok(map_from_value(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<(), DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}

@@ -1,0 +1,749 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Real `serde_derive` depends on `syn`/`quote`, which are not available in
+//! this container, so the item grammar is parsed by hand from the raw
+//! `TokenStream`. Supported shapes — exactly the ones this workspace uses:
+//!
+//! - structs with named fields (optionally generic, with `#[serde(bound)]`)
+//! - tuple structs (newtype structs serialize as their inner value)
+//! - unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged)
+//! - container attributes `#[serde(transparent)]`,
+//!   `#[serde(bound = "...")]`, and
+//!   `#[serde(bound(serialize = "...", deserialize = "..."))]`
+//!
+//! Anything else (field-level serde attributes, unions, …) fails the build
+//! with an explicit message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Raw tokens of the generic parameter list (without the angle brackets),
+    /// e.g. `T: TransitionLike`.
+    generics_decl: String,
+    /// Parameter names in declaration order, e.g. `["'a", "T"]`.
+    param_names: Vec<String>,
+    /// Type parameter names only (targets for default bounds).
+    type_params: Vec<String>,
+    /// Raw tokens of a trailing `where` clause, if any.
+    where_clause: String,
+    transparent: bool,
+    bound_serialize: Option<String>,
+    bound_deserialize: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected identifier, found {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribute parsing
+// ---------------------------------------------------------------------------
+
+struct ContainerAttrs {
+    transparent: bool,
+    bound_serialize: Option<String>,
+    bound_deserialize: Option<String>,
+}
+
+fn literal_str(t: &TokenTree) -> String {
+    let s = t.to_string();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde shim derive: expected string literal, found {s}"));
+    inner.replace("\\\"", "\"")
+}
+
+/// Consume leading `#[...]` attributes, folding `#[serde(...)]` into `attrs`.
+fn skip_attrs(cur: &mut Cursor, attrs: &mut ContainerAttrs) {
+    loop {
+        let is_hash = matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_hash {
+            return;
+        }
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim derive: malformed attribute {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde shim derive: malformed #[serde] attribute {other:?}"),
+        };
+        let mut a = Cursor::new(args.stream());
+        while let Some(tok) = a.next() {
+            match tok {
+                TokenTree::Ident(id) if id.to_string() == "transparent" => {
+                    attrs.transparent = true;
+                }
+                TokenTree::Ident(id) if id.to_string() == "bound" => {
+                    match a.next() {
+                        // bound = "..."
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            let lit = a.next().expect("serde shim derive: bound value");
+                            let text = literal_str(&lit);
+                            attrs.bound_serialize = Some(text.clone());
+                            attrs.bound_deserialize = Some(text);
+                        }
+                        // bound(serialize = "...", deserialize = "...")
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let mut b = Cursor::new(g.stream());
+                            while let Some(which) = b.next() {
+                                let which = which.to_string();
+                                if which == "," {
+                                    continue;
+                                }
+                                assert!(
+                                    b.eat_punct('='),
+                                    "serde shim derive: malformed bound attribute"
+                                );
+                                let lit = b.next().expect("bound value");
+                                let text = literal_str(&lit);
+                                match which.as_str() {
+                                    "serialize" => attrs.bound_serialize = Some(text),
+                                    "deserialize" => attrs.bound_deserialize = Some(text),
+                                    other => {
+                                        panic!("serde shim derive: unknown bound key `{other}`")
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            panic!("serde shim derive: malformed bound attribute {other:?}")
+                        }
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                other => panic!(
+                    "serde shim derive: unsupported #[serde({other})] container attribute \
+                     (this offline shim supports transparent/bound only)"
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------------
+
+/// Skip tokens that belong to a type until `,` at angle-bracket depth 0.
+/// Returns `true` if the comma was consumed (more items may follow).
+fn skip_type_until_comma(cur: &mut Cursor) -> bool {
+    let mut depth = 0i32;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                cur.next();
+                return true;
+            }
+            _ => {}
+        }
+        cur.next();
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let mut dummy = ContainerAttrs {
+            transparent: false,
+            bound_serialize: None,
+            bound_deserialize: None,
+        };
+        // Field-level #[serde] attributes are unsupported; doc comments and
+        // other attrs are skipped. A serde field attr would parse as a
+        // container attr here and panic — which is the failure mode we want.
+        skip_attrs(&mut cur, &mut dummy);
+        if cur.peek().is_none() {
+            break;
+        }
+        if cur.eat_ident("pub") {
+            // visibility scope like pub(crate)
+            if let Some(TokenTree::Group(g)) = cur.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    cur.next();
+                }
+            }
+        }
+        let name = cur.expect_ident();
+        assert!(
+            cur.eat_punct(':'),
+            "serde shim derive: expected `:` after field `{name}`"
+        );
+        fields.push(name);
+        if !skip_type_until_comma(&mut cur) {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    if cur.peek().is_none() {
+        return 0;
+    }
+    let mut n = 0;
+    loop {
+        let mut dummy = ContainerAttrs {
+            transparent: false,
+            bound_serialize: None,
+            bound_deserialize: None,
+        };
+        skip_attrs(&mut cur, &mut dummy);
+        if cur.peek().is_none() {
+            break;
+        }
+        if cur.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = cur.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    cur.next();
+                }
+            }
+        }
+        n += 1;
+        if !skip_type_until_comma(&mut cur) {
+            break;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        let mut dummy = ContainerAttrs {
+            transparent: false,
+            bound_serialize: None,
+            bound_deserialize: None,
+        };
+        skip_attrs(&mut cur, &mut dummy);
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if cur.eat_punct('=') {
+            skip_type_until_comma(&mut cur);
+        } else {
+            cur.eat_punct(',');
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    let mut attrs = ContainerAttrs {
+        transparent: false,
+        bound_serialize: None,
+        bound_deserialize: None,
+    };
+    skip_attrs(&mut cur, &mut attrs);
+
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.next();
+            }
+        }
+    }
+
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde shim derive: only structs and enums are supported");
+    };
+    let name = cur.expect_ident();
+
+    // Generic parameter list.
+    let mut generics_tokens: Vec<TokenTree> = Vec::new();
+    let mut param_names: Vec<String> = Vec::new();
+    let mut type_params: Vec<String> = Vec::new();
+    if cur.eat_punct('<') {
+        let mut depth = 1i32;
+        let mut expecting_param = true;
+        while depth > 0 {
+            let tok = cur.next().expect("serde shim derive: unbalanced generics");
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expecting_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expecting_param => {
+                    generics_tokens.push(tok.clone());
+                    let life = cur.expect_ident();
+                    param_names.push(format!("'{life}"));
+                    generics_tokens.push(TokenTree::Ident(proc_macro::Ident::new(
+                        &life,
+                        proc_macro::Span::call_site(),
+                    )));
+                    expecting_param = false;
+                    continue;
+                }
+                TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                    let word = id.to_string();
+                    if word == "const" {
+                        generics_tokens.push(tok.clone());
+                        let cname = cur.expect_ident();
+                        param_names.push(cname.clone());
+                        generics_tokens.push(TokenTree::Ident(proc_macro::Ident::new(
+                            &cname,
+                            proc_macro::Span::call_site(),
+                        )));
+                        expecting_param = false;
+                        continue;
+                    }
+                    param_names.push(word.clone());
+                    type_params.push(word);
+                    expecting_param = false;
+                }
+                _ => {}
+            }
+            generics_tokens.push(tok);
+        }
+    }
+    let generics_decl = generics_tokens
+        .into_iter()
+        .collect::<TokenStream>()
+        .to_string();
+
+    // Optional where clause.
+    let mut where_tokens: Vec<TokenTree> = Vec::new();
+    if cur.eat_ident("where") {
+        while let Some(tok) = cur.peek() {
+            match tok {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => where_tokens.push(cur.next().unwrap()),
+            }
+        }
+    }
+    let where_clause = where_tokens
+        .into_iter()
+        .collect::<TokenStream>()
+        .to_string();
+
+    let kind = if is_enum {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum body {other:?}"),
+        }
+    } else {
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: malformed struct body {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        generics_decl,
+        param_names,
+        type_params,
+        where_clause,
+        transparent: attrs.transparent,
+        bound_serialize: attrs.bound_serialize,
+        bound_deserialize: attrs.bound_deserialize,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl<...> Trait for Name<...> where ...` header.
+fn impl_header(
+    input: &Input,
+    trait_path: &str,
+    bound: &Option<String>,
+    default_bound: &str,
+) -> String {
+    let mut out = String::new();
+    if input.generics_decl.is_empty() {
+        out.push_str(&format!("impl {trait_path} for {} ", input.name));
+    } else {
+        out.push_str(&format!(
+            "impl<{}> {trait_path} for {}<{}> ",
+            input.generics_decl,
+            input.name,
+            input.param_names.join(", ")
+        ));
+    }
+    let mut predicates: Vec<String> = Vec::new();
+    match bound {
+        Some(text) => {
+            if !text.trim().is_empty() {
+                predicates.push(text.clone());
+            }
+        }
+        None => {
+            for p in &input.type_params {
+                predicates.push(format!("{p}: {default_bound}"));
+            }
+        }
+    }
+    if !input.where_clause.trim().is_empty() {
+        predicates.push(input.where_clause.clone());
+    }
+    if !predicates.is_empty() {
+        out.push_str(&format!("where {} ", predicates.join(", ")));
+    }
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                assert!(
+                    fields.len() == 1,
+                    "serde shim derive: #[serde(transparent)] needs exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "Self::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "Self::{vn}(x0) => ::serde::Value::Obj(vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Obj(vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Obj(vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Obj(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let header = impl_header(
+        input,
+        "::serde::Serialize",
+        &input.bound_serialize,
+        "::serde::Serialize",
+    );
+    format!("{header}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                format!(
+                    "Ok(Self {{ {}: ::serde::Deserialize::from_value(v)? }})",
+                    fields[0]
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::obj_field(fields, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match v {{ \
+                       ::serde::Value::Obj(fields) => {{ \
+                         let _ = &fields; Ok(Self {{ {} }}) }} \
+                       other => Err(::serde::DeError::expected(\"object ({name})\", other)), \
+                     }}",
+                    inits.join(", ")
+                )
+            }
+        }
+        Kind::TupleStruct(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = v.as_arr().ok_or_else(|| \
+                   ::serde::DeError::expected(\"array ({name})\", v))?; \
+                   if items.len() != {n} {{ \
+                     return Err(::serde::DeError::msg(format!(\
+                       \"expected {n} elements for {name}, found {{}}\", items.len()))); }} \
+                   Ok(Self({})) }}",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => "Ok(Self)".to_string(),
+        Kind::Enum(variants) => {
+            let mut unit_arms: Vec<String> = Vec::new();
+            let mut data_arms: Vec<String> = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok(Self::{vn}),"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push(format!(
+                            "\"{vn}\" => Ok(Self::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let items = inner.as_arr().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array ({name}::{vn})\", inner))?; \
+                             if items.len() != {n} {{ \
+                               return Err(::serde::DeError::msg(\"wrong arity for {name}::{vn}\")); }} \
+                             Ok(Self::{vn}({})) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::obj_field(fields, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let fields = inner.as_obj().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object ({name}::{vn})\", inner))?; \
+                             let _ = &fields; Ok(Self::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {} \
+                     other => Err(::serde::DeError::msg(format!(\
+                       \"unknown variant `{{other}}` for {name}\"))), \
+                   }}, \
+                   ::serde::Value::Obj(fields) if fields.len() == 1 => {{ \
+                     let (tag, inner) = &fields[0]; \
+                     let _ = &inner; \
+                     match tag.as_str() {{ \
+                       {} \
+                       other => Err(::serde::DeError::msg(format!(\
+                         \"unknown variant `{{other}}` for {name}\"))), \
+                     }} \
+                   }} \
+                   other => Err(::serde::DeError::expected(\"enum value ({name})\", other)), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let header = impl_header(
+        input,
+        "::serde::Deserialize",
+        &input.bound_deserialize,
+        "::serde::Deserialize",
+    );
+    format!(
+        "{header}{{ fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+fn parse_generated(src: String) -> TokenStream {
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid Rust ({e:?}): {src}"))
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for the supported grammar.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    parse_generated(gen_serialize(&parsed))
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for the supported grammar.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    parse_generated(gen_deserialize(&parsed))
+}

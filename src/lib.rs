@@ -74,8 +74,6 @@ pub mod prelude {
     pub use cn_fivegee::{adapt_model, ScalingProfile};
     pub use cn_gen::{generate, GenConfig};
     pub use cn_mcn::{Mme, QueueSim, ServiceProfile};
-    pub use cn_trace::{
-        DeviceType, EventType, PopulationMix, Timestamp, Trace, TraceRecord, UeId,
-    };
+    pub use cn_trace::{DeviceType, EventType, PopulationMix, Timestamp, Trace, TraceRecord, UeId};
     pub use cn_world::{generate_world, WorldConfig};
 }

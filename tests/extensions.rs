@@ -24,16 +24,25 @@ fn streamed_population_drives_message_level_simulation() {
 
     // Expand into 3GPP signaling messages; the count must equal the sum of
     // the per-event flow lengths, and S1 must dominate.
-    let expected: usize = trace.iter().map(|r| messages::procedure(r.event).len()).sum();
+    let expected: usize = trace
+        .iter()
+        .map(|r| messages::procedure(r.event).len())
+        .sum();
     let expanded: Vec<_> = messages::expand(&trace).collect();
     assert_eq!(expanded.len(), expected);
     let per_interface = messages::interface_load(&trace);
     assert_eq!(per_interface.iter().sum::<u64>() as usize, expected);
-    assert!(per_interface[0] > per_interface[1], "S1 must carry the most");
+    assert!(
+        per_interface[0] > per_interface[1],
+        "S1 must carry the most"
+    );
 
     // The flow-derived transaction matrix agrees with the coarse one on NF
     // totals to within a small factor.
-    let coarse = nf_load(&trace, &cellular_cp_traffgen::mcn::TransactionMatrix::default_epc());
+    let coarse = nf_load(
+        &trace,
+        &cellular_cp_traffgen::mcn::TransactionMatrix::default_epc(),
+    );
     let fine = nf_load(&trace, &messages::derived_matrix());
     for nf in cellular_cp_traffgen::mcn::NetworkFunction::ALL {
         let (a, b) = (coarse.total(nf).max(1) as f64, fine.total(nf).max(1) as f64);

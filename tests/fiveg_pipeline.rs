@@ -43,7 +43,11 @@ fn nsa_increases_ho_share_sa_removes_tau() {
         "5G SA must have no TAU events"
     );
     // SA still produces real traffic.
-    assert!(t_sa.len() > 200, "SA trace suspiciously small: {}", t_sa.len());
+    assert!(
+        t_sa.len() > 200,
+        "SA trace suspiciously small: {}",
+        t_sa.len()
+    );
 }
 
 #[test]
@@ -51,11 +55,17 @@ fn custom_scaling_factors_are_monotone() {
     let (lte, mix) = lte_models();
     let mild = adapt_model(
         &lte,
-        &ScalingProfile { mode: FiveGMode::Nsa, ho_factor: 2.0 },
+        &ScalingProfile {
+            mode: FiveGMode::Nsa,
+            ho_factor: 2.0,
+        },
     );
     let wild = adapt_model(
         &lte,
-        &ScalingProfile { mode: FiveGMode::Nsa, ho_factor: 8.0 },
+        &ScalingProfile {
+            mode: FiveGMode::Nsa,
+            ho_factor: 8.0,
+        },
     );
     let count_ho = |models: &ModelSet, seed| {
         day_trace(models, mix, seed)
@@ -66,7 +76,10 @@ fn custom_scaling_factors_are_monotone() {
     let lte_n = count_ho(&lte, 10);
     let mild_n = count_ho(&mild, 10);
     let wild_n = count_ho(&wild, 10);
-    assert!(lte_n < mild_n, "×2 did not increase HO ({lte_n} → {mild_n})");
+    assert!(
+        lte_n < mild_n,
+        "×2 did not increase HO ({lte_n} → {mild_n})"
+    );
     assert!(mild_n < wild_n, "×8 did not beat ×2 ({mild_n} → {wild_n})");
 }
 

@@ -27,7 +27,9 @@ fn more_workers_never_hurt_latency() {
     let profile = ServiceProfile::default_mme();
     let mut last = f64::INFINITY;
     for workers in [1usize, 2, 4] {
-        let report = QueueSim::new(profile, workers).run(&trace).expect("non-empty");
+        let report = QueueSim::new(profile, workers)
+            .run(&trace)
+            .expect("non-empty");
         assert!(
             report.p99_latency_ms <= last + 1e-9,
             "workers {workers}: p99 {} worse than previous {last}",
