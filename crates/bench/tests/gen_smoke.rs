@@ -3,7 +3,7 @@
 //! the streaming pipeline (or the bench plumbing itself) breaks
 //! `cargo test` instead of silently corrupting the recorded trajectory.
 
-use bench::{bench_json, run_sequential, run_sharded, BenchPoint};
+use bench::{bench_json, measure_reps, run_sequential, run_sharded, ShardPoint};
 use cn_fit::{fit, FitConfig, Method};
 use cn_gen::{generate, GenConfig};
 use cn_trace::{PopulationMix, Timestamp};
@@ -21,23 +21,47 @@ fn bench_pipeline_smoke() {
     );
 
     let batch_events = generate(&models, &config).len() as u64;
-    let baseline = BenchPoint::measure(|| run_sequential(&models, &config));
-    let sharded = BenchPoint::measure(|| run_sharded(&models, &config, 3));
+    let baseline = measure_reps(2, || run_sequential(&models, &config));
+    let p1 = ShardPoint::against(
+        1,
+        measure_reps(2, || run_sharded(&models, &config, 1)),
+        &baseline,
+    );
+    let p3 = ShardPoint::against(
+        3,
+        measure_reps(2, || run_sharded(&models, &config, 3)),
+        &baseline,
+    );
 
     assert!(baseline.events > 0, "smoke workload produced no events");
     assert_eq!(baseline.events, batch_events, "stream vs batch event count");
-    assert_eq!(
-        baseline.events, sharded.events,
-        "sequential vs sharded event count"
-    );
+    assert_eq!(baseline.events, p1.stats.events, "1-shard event count");
+    assert_eq!(baseline.events, p3.stats.events, "3-shard event count");
 
-    let json = bench_json("smoke", 3, baseline, sharded);
+    // `bench_json` itself re-asserts both shard points and equal event
+    // counts — rendering succeeding is part of the smoke.
+    let json = bench_json("smoke", 3, &baseline, &[p1, p3]);
     for key in [
-        "events_per_sec",
-        "peak_rss_mb",
-        "wall_ms",
-        "baseline_single_thread",
+        "\"events_per_sec\"",
+        "\"peak_rss_mb\"",
+        "\"wall_ms\"",
+        "\"wall_ms_min\"",
+        "\"cores\": 3",
+        "\"single_core\": false",
+        "\"reps\": 2",
+        "\"speedup_vs_baseline\"",
+        "\"baseline_single_thread\"",
+        "{ \"shards\": 1,",
+        "{ \"shards\": 3,",
     ] {
         assert!(json.contains(key), "bench json missing {key}: {json}");
     }
+
+    // A file whose headline poses as parallel without the cores point
+    // measured must be refused outright.
+    let refused = std::panic::catch_unwind(|| bench_json("smoke", 3, &baseline, &[p1]));
+    assert!(
+        refused.is_err(),
+        "bench_json accepted a headline without the shards == cores point"
+    );
 }

@@ -48,6 +48,17 @@ impl GenConfig {
         duration_hours: f64,
         seed: u64,
     ) -> Self {
+        debug_assert!(
+            duration_hours.is_finite() && duration_hours >= 0.0,
+            "GenConfig duration_hours must be finite and non-negative, got {duration_hours}"
+        );
+        // Saturate rather than propagate: a NaN/negative/infinite duration
+        // means an empty synthesis window, never a garbage end timestamp.
+        let duration_hours = if duration_hours.is_finite() {
+            duration_hours.max(0.0)
+        } else {
+            0.0
+        };
         GenConfig {
             population,
             start,
@@ -70,11 +81,35 @@ impl GenConfig {
         }
     }
 
-    /// End of the synthesis window.
+    /// End of the synthesis window. `duration_hours` is a public field, so
+    /// a non-finite or non-positive value can reach this point even though
+    /// [`GenConfig::new`] saturates: such a duration yields an empty window
+    /// (`end == start`), never a garbage timestamp (a bare `as u64` cast
+    /// maps NaN to `0` but `+inf` to `u64::MAX`, which would send the
+    /// generators off to synthesize forever).
     pub fn end(&self) -> Timestamp {
-        self.start
-            .saturating_add((self.duration_hours * MS_PER_HOUR as f64) as u64)
+        let ms = self.duration_hours * MS_PER_HOUR as f64;
+        if !ms.is_finite() || ms <= 0.0 {
+            return self.start;
+        }
+        self.start.saturating_add(ms as u64)
     }
+}
+
+/// Worker threads / shards to use when a caller asks for "all cores"
+/// (`GenConfig::threads == 0`): [`std::thread::available_parallelism`],
+/// falling back to **1** when the parallelism cannot be determined
+/// (restricted cgroups, exotic platforms).
+///
+/// The fallback is deliberately conservative. With an unknown core budget
+/// the sequential path is always correct and never slower, whereas
+/// speculatively spawning workers pays thread, channel, and merge tax for
+/// potentially zero parallelism — exactly the regression the adaptive
+/// sharded path exists to avoid. Shared by [`generate`],
+/// [`crate::ShardedStream::new`], and the tracked benchmark so every
+/// "0 = all cores" knob resolves identically.
+pub fn effective_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Per-UE stream seed: decorrelated from the master seed via SplitMix64.
@@ -109,12 +144,14 @@ fn splitmix64(mut x: u64) -> u64 {
 /// ```
 pub fn generate(models: &ModelSet, config: &GenConfig) -> Trace {
     let total = config.population.total();
-    if total == 0 || config.duration_hours <= 0.0 {
+    // A NaN duration must take the empty-trace path too, not fall through
+    // to the generators (`NaN <= 0.0` is false).
+    if total == 0 || config.duration_hours.is_nan() || config.duration_hours <= 0.0 {
         return Trace::new();
     }
     let end = config.end();
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        effective_parallelism()
     } else {
         config.threads
     }

@@ -30,7 +30,13 @@
 //! * [`PopulationStream`] — sequential bounded-memory streaming via a
 //!   loser-tree k-way merge;
 //! * [`ShardedStream`] — multi-core streaming: disjoint UE shards on
-//!   worker threads, bounded block channels, and a final S-way merge.
+//!   worker threads, bounded block channels, and a block-draining S-way
+//!   merge. Execution is *adaptive*: at one effective shard (including
+//!   every single-core box) it runs the sequential merge inline, spawning
+//!   no threads, so the sharded API is never slower than
+//!   [`PopulationStream`].
+//!
+//! All "0 = all cores" knobs resolve through [`effective_parallelism`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +46,7 @@ pub mod per_ue;
 pub mod shard;
 pub mod stream;
 
-pub use engine::{generate, GenConfig, HourSemantics};
+pub use engine::{effective_parallelism, generate, GenConfig, HourSemantics};
 pub use per_ue::{generate_ue, UeEventIter};
 pub use shard::ShardedStream;
 pub use stream::PopulationStream;

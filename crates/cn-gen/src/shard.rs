@@ -1,4 +1,4 @@
-//! Parallel sharded population streaming.
+//! Parallel sharded population streaming with adaptive execution.
 //!
 //! [`ShardedStream`] is the multi-core counterpart of
 //! [`crate::stream::PopulationStream`]: the population is partitioned into
@@ -7,8 +7,32 @@
 //! across workers). Each shard runs on its own worker thread, merging its
 //! live [`UeEventIter`]s with a [`LoserTree`] into a time-sorted run that
 //! is shipped to the consumer as fixed-size record blocks over a bounded
-//! SPSC channel. The consumer performs the final S-way merge — again a
-//! loser tree, replace-top only — over the shard runs.
+//! SPSC channel. The consumer performs the final S-way merge over the
+//! shard runs.
+//!
+//! ### Adaptive execution
+//!
+//! A single shard *is* the sequential merge, so `S == 1` (an explicit
+//! `with_shards(.., 1)`, a one-UE population, or [`ShardedStream::new`] on
+//! a single-core box — [`crate::effective_parallelism`] decides) runs the
+//! [`PopulationStream`] loser tree **inline on the caller's thread**: no
+//! worker threads, no channels, no model clone. The sharded API is
+//! therefore never slower than the sequential stream; threads and
+//! channels are only paid for when there is parallelism to buy with them.
+//! [`ShardedStream::is_inline`] / [`ShardedStream::worker_threads`] expose
+//! which path engaged.
+//!
+//! ### Block-drain merge
+//!
+//! The consumer-side merge does not hop through the tournament tree per
+//! record. When shard `w` wins, the tree also knows the *runner-up* — the
+//! head that would win were `w`'s run exhausted ([`LoserTree::runner_up`],
+//! one ⌈log₂S⌉ walk). Every buffered record of `w` that precedes that
+//! bound is part of `w`'s current **run** and is emitted by direct block
+//! indexing, one comparison each (found by galloping + binary search, so
+//! short runs cost O(1)); the tree is then advanced **once per run**
+//! ([`LoserTree::replace_run`]) instead of once per record, amortizing
+//! both the replay and the per-record channel bookkeeping.
 //!
 //! ### Determinism
 //!
@@ -21,7 +45,8 @@
 //!   UE's own events have strictly increasing timestamps), so the globally
 //!   sorted sequence is unique — *any* correct merge tree yields it;
 //! * each shard run is a sorted subsequence of that global sequence, and
-//!   the consumer-side merge restores it exactly.
+//!   the consumer-side merge restores it exactly (run boundaries respect
+//!   the same tie-break — lower shard index first — the tree uses).
 //!
 //! ### Backpressure & memory
 //!
@@ -35,8 +60,9 @@
 //! next, and that channel's producer never waits on anything but the same
 //! channel's free space.
 
-use crate::engine::{ue_stream_seed, GenConfig};
+use crate::engine::{effective_parallelism, ue_stream_seed, GenConfig};
 use crate::per_ue::UeEventIter;
+use crate::stream::PopulationStream;
 use cn_fit::ModelSet;
 use cn_trace::{LoserTree, TraceRecord, UeId};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -53,6 +79,9 @@ pub const CHANNEL_BLOCKS: usize = 4;
 
 /// One shard's endpoint on the consumer side: the receive handle plus a
 /// cursor over the block currently being drained.
+///
+/// Invariant while the shard is live: the merge tree's head for this shard
+/// equals `block[pos]`, the shard's next undelivered record.
 struct ShardCursor {
     rx: Receiver<Vec<TraceRecord>>,
     block: Vec<TraceRecord>,
@@ -60,13 +89,12 @@ struct ShardCursor {
 }
 
 impl ShardCursor {
-    /// Next record of this shard's run, blocking on the channel when the
-    /// current block is exhausted; `None` once the worker has finished and
-    /// every block is drained.
-    fn next_record(&mut self) -> Option<TraceRecord> {
+    /// The record at `pos` — this shard's next merge head — receiving the
+    /// next block when the current one is exhausted; `None` once the
+    /// worker has finished and every block is drained.
+    fn head(&mut self) -> Option<TraceRecord> {
         loop {
             if let Some(&rec) = self.block.get(self.pos) {
-                self.pos += 1;
                 return Some(rec);
             }
             match self.rx.recv() {
@@ -81,7 +109,8 @@ impl ShardCursor {
 }
 
 /// A globally time-ordered population event stream produced by parallel
-/// shard workers (see module docs).
+/// shard workers — or, at one shard, by the sequential loser tree inline
+/// (see module docs).
 ///
 /// ```no_run
 /// use cn_gen::{GenConfig, ShardedStream};
@@ -92,35 +121,105 @@ impl ShardCursor {
 ///     let _ = record;
 /// }
 /// ```
-pub struct ShardedStream {
+pub struct ShardedStream<'m> {
+    inner: Inner<'m>,
+}
+
+enum Inner<'m> {
+    /// Single-shard fast path: the sequential merge, zero threads.
+    Inline(PopulationStream<'m>),
+    /// Worker threads + block channels + consumer-side S-way merge.
+    Parallel(ParallelStream),
+}
+
+/// The multi-worker pipeline behind [`ShardedStream`] at `S ≥ 2`.
+struct ParallelStream {
     shards: Vec<ShardCursor>,
     tree: LoserTree<TraceRecord>,
+    /// Shard whose current run is being drained (valid while `run_len > 0`).
+    run: usize,
+    /// Unemitted records of the current run; all of them precede every
+    /// other shard's head, so they bypass the tree entirely.
+    run_len: usize,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl ShardedStream {
+impl<'m> ShardedStream<'m> {
     /// Stream `config`'s population with one shard per configured thread
-    /// (`config.threads`, `0` = all cores). Clones the model set once so
-    /// worker threads can outlive the caller's borrow.
-    pub fn new(models: &ModelSet, config: &GenConfig) -> ShardedStream {
+    /// (`config.threads`, `0` = all cores via
+    /// [`crate::effective_parallelism`]).
+    pub fn new(models: &'m ModelSet, config: &GenConfig) -> ShardedStream<'m> {
         let shards = if config.threads == 0 {
-            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+            effective_parallelism()
         } else {
             config.threads
         };
         Self::with_shards(models, config, shards)
     }
 
-    /// As [`ShardedStream::new`] with an explicit shard count.
-    pub fn with_shards(models: &ModelSet, config: &GenConfig, shards: usize) -> ShardedStream {
-        Self::with_arc(Arc::new(models.clone()), config, shards)
+    /// As [`ShardedStream::new`] with an explicit shard count. One shard
+    /// (after clamping to the population size) engages the inline
+    /// sequential fast path; two or more spawn worker threads, cloning the
+    /// model set once so the workers can outlive the caller's borrow.
+    pub fn with_shards(
+        models: &'m ModelSet,
+        config: &GenConfig,
+        shards: usize,
+    ) -> ShardedStream<'m> {
+        let shards = shards.clamp(1, (config.population.total() as usize).max(1));
+        if shards == 1 {
+            return ShardedStream {
+                inner: Inner::Inline(PopulationStream::new(models, config)),
+            };
+        }
+        ShardedStream {
+            inner: Inner::Parallel(ParallelStream::spawn(
+                Arc::new(models.clone()),
+                config,
+                shards,
+            )),
+        }
     }
 
-    /// As [`ShardedStream::with_shards`] without the model clone, for
-    /// callers that already hold the model set in an [`Arc`].
-    pub fn with_arc(models: Arc<ModelSet>, config: &GenConfig, shards: usize) -> ShardedStream {
+    /// True when this stream runs on the caller's thread (the single-shard
+    /// fast path): no worker threads, no channels were created.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.inner, Inner::Inline(_))
+    }
+
+    /// Number of worker threads backing this stream — `0` on the inline
+    /// fast path, the shard count otherwise.
+    pub fn worker_threads(&self) -> usize {
+        match &self.inner {
+            Inner::Inline(_) => 0,
+            Inner::Parallel(p) => p.workers.len(),
+        }
+    }
+
+    /// Number of shards that still have records pending (the inline path
+    /// counts as one shard until it drains).
+    pub fn live_shards(&self) -> usize {
+        match &self.inner {
+            Inner::Inline(s) => usize::from(s.live_ues() > 0),
+            Inner::Parallel(p) => p.tree.live(),
+        }
+    }
+}
+
+impl Iterator for ShardedStream<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        match &mut self.inner {
+            Inner::Inline(s) => s.next(),
+            Inner::Parallel(p) => p.next_record(),
+        }
+    }
+}
+
+impl ParallelStream {
+    fn spawn(models: Arc<ModelSet>, config: &GenConfig, shards: usize) -> ParallelStream {
         let config = *config;
-        let shards = shards.clamp(1, (config.population.total() as usize).max(1));
         let mut cursors = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -137,32 +236,60 @@ impl ShardedStream {
                 pos: 0,
             });
         }
-        let heads: Vec<Option<TraceRecord>> =
-            cursors.iter_mut().map(ShardCursor::next_record).collect();
-        ShardedStream {
+        let heads: Vec<Option<TraceRecord>> = cursors.iter_mut().map(ShardCursor::head).collect();
+        ParallelStream {
             shards: cursors,
             tree: LoserTree::new(heads),
+            run: 0,
+            run_len: 0,
             workers,
         }
     }
 
-    /// Number of shards that still have records pending.
-    pub fn live_shards(&self) -> usize {
-        self.tree.live()
+    /// Start the next run: the tournament winner's buffered records up to
+    /// (per the global tie-break) the runner-up's head. Costs two ⌈log₂S⌉
+    /// walks plus a gallop — once per run, not per record.
+    fn begin_run(&mut self) -> bool {
+        let Some(w) = self.tree.winner() else {
+            return false;
+        };
+        let cursor = &self.shards[w];
+        let rest = &cursor.block[cursor.pos..];
+        debug_assert!(!rest.is_empty(), "a live shard's head is buffered");
+        let len = match self.tree.runner_up() {
+            // Sole live shard: everything buffered is globally next.
+            None => rest.len(),
+            Some(u) => {
+                let bound = self.tree.head(u).expect("runner-up has a head");
+                run_prefix(rest, bound, w < u)
+            }
+        };
+        debug_assert!(len >= 1, "the winner's own head precedes the bound");
+        self.run = w;
+        self.run_len = len;
+        true
+    }
+
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        if self.run_len == 0 && !self.begin_run() {
+            return None;
+        }
+        let cursor = &mut self.shards[self.run];
+        let rec = cursor.block[cursor.pos];
+        cursor.pos += 1;
+        self.run_len -= 1;
+        if self.run_len == 0 {
+            // Run exhausted: fetch this shard's next head (receiving the
+            // next block if need be) and replay the tournament once for
+            // the whole run.
+            let next = cursor.head();
+            self.tree.replace_run(next);
+        }
+        Some(rec)
     }
 }
 
-impl Iterator for ShardedStream {
-    type Item = TraceRecord;
-
-    fn next(&mut self) -> Option<TraceRecord> {
-        let w = self.tree.winner()?;
-        let next = self.shards[w].next_record();
-        self.tree.pop_and_replace(next)
-    }
-}
-
-impl Drop for ShardedStream {
+impl Drop for ParallelStream {
     fn drop(&mut self) {
         // Dropping the receivers fails any blocked worker send, so workers
         // wind down promptly even when the stream is abandoned mid-run.
@@ -171,6 +298,29 @@ impl Drop for ShardedStream {
             let _ = handle.join();
         }
     }
+}
+
+/// Length of the longest prefix of `rest` (one shard's sorted buffered
+/// records, `rest[0]` being the current tournament winner) whose records
+/// all precede `bound`, the runner-up shard's head. `wins_ties` is whether
+/// this shard's index is lower than the bound's (the merge's stability
+/// tie-break). Gallop-then-binary-search: O(1) for the short runs of a
+/// fine-grained interleave, O(log n) for long bursts.
+fn run_prefix(rest: &[TraceRecord], bound: &TraceRecord, wins_ties: bool) -> usize {
+    let precedes = |r: &TraceRecord| match r.cmp(bound) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => wins_ties,
+        std::cmp::Ordering::Greater => false,
+    };
+    debug_assert!(precedes(&rest[0]), "the winner precedes the runner-up");
+    let mut lo = 0; // rest[lo] is known to precede the bound
+    let mut step = 1;
+    while lo + step < rest.len() && precedes(&rest[lo + step]) {
+        lo += step;
+        step *= 2;
+    }
+    let hi = (lo + step).min(rest.len());
+    lo + 1 + rest[lo + 1..hi].partition_point(precedes)
 }
 
 /// Worker body: merge this shard's UE streams into a sorted run and ship
@@ -222,7 +372,6 @@ fn shard_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::PopulationStream;
     use cn_fit::{fit, FitConfig, Method};
     use cn_trace::{PopulationMix, Timestamp, Trace};
     use cn_world::{generate_world, WorldConfig};
@@ -253,11 +402,50 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_runs_inline_without_worker_threads() {
+        // The adaptive fast path: one shard must not pay for threads or
+        // channels it cannot use — it delegates to the sequential merge.
+        let models = fitted();
+        let config = config();
+        let stream = ShardedStream::with_shards(&models, &config, 1);
+        assert!(stream.is_inline(), "1 shard must take the inline path");
+        assert_eq!(stream.worker_threads(), 0);
+        let n = stream.count();
+        assert_eq!(n, PopulationStream::new(&models, &config).count());
+    }
+
+    #[test]
+    fn multi_shard_spawns_one_worker_per_shard() {
+        let models = fitted();
+        let config = config();
+        let stream = ShardedStream::with_shards(&models, &config, 4);
+        assert!(!stream.is_inline());
+        assert_eq!(stream.worker_threads(), 4);
+    }
+
+    #[test]
+    fn one_ue_population_is_inline_regardless_of_request() {
+        // Clamping to the population size can collapse a parallel request
+        // to one shard; that too must bypass the worker machinery.
+        let models = fitted();
+        let config = GenConfig::new(
+            PopulationMix::new(1, 0, 0),
+            Timestamp::at_hour(0, 9),
+            2.0,
+            7,
+        );
+        let stream = ShardedStream::with_shards(&models, &config, 8);
+        assert!(stream.is_inline());
+        assert_eq!(stream.worker_threads(), 0);
+    }
+
+    #[test]
     fn shard_count_exceeding_population_is_clamped() {
         let models = fitted();
         let config = config();
         // 31 UEs, 64 requested shards: must still stream every record.
         let stream = ShardedStream::with_shards(&models, &config, 64);
+        assert_eq!(stream.worker_threads(), 31);
         let n = stream.count();
         let expected = PopulationStream::new(&models, &config).count();
         assert_eq!(n, expected);
@@ -297,5 +485,30 @@ mod tests {
         assert!(stream.live_shards() <= 3);
         for _ in stream.by_ref() {}
         assert_eq!(stream.live_shards(), 0);
+
+        let mut inline = ShardedStream::with_shards(&models, &config, 1);
+        assert_eq!(inline.live_shards(), 1);
+        for _ in inline.by_ref() {}
+        assert_eq!(inline.live_shards(), 0);
+    }
+
+    #[test]
+    fn run_prefix_respects_order_and_ties() {
+        use cn_trace::{DeviceType, EventType};
+        let rec = |ms: u64| {
+            TraceRecord::new(
+                Timestamp::from_millis(ms),
+                UeId(0),
+                DeviceType::Phone,
+                EventType::ServiceRequest,
+            )
+        };
+        let rest: Vec<TraceRecord> = [1u64, 3, 5, 7, 9].into_iter().map(rec).collect();
+        assert_eq!(run_prefix(&rest, &rec(2), true), 1);
+        assert_eq!(run_prefix(&rest, &rec(6), true), 3);
+        assert_eq!(run_prefix(&rest, &rec(100), true), 5);
+        // An equal record stays in the run only when this shard wins ties.
+        assert_eq!(run_prefix(&rest, &rec(5), true), 3);
+        assert_eq!(run_prefix(&rest, &rec(5), false), 2);
     }
 }

@@ -8,7 +8,7 @@ use cn_cluster::ClusterId;
 use cn_fit::{
     ClusterHourModel, DeviceModels, FirstEventModel, HourModels, Method, ModelSet, SemiMarkovModel,
 };
-use cn_gen::{generate, generate_ue, GenConfig};
+use cn_gen::{generate, generate_ue, GenConfig, PopulationStream, ShardedStream};
 use cn_statemachine::TopTransition;
 use cn_stats::Ecdf;
 use cn_trace::{DeviceType, EventType, PopulationMix, Timestamp, UeId};
@@ -148,6 +148,45 @@ fn degenerate_sojourns_do_not_livelock() {
     assert!(!trace.is_empty());
     for r in trace.iter() {
         assert!(r.t.as_millis() < 2_000);
+    }
+}
+
+#[test]
+fn non_finite_and_negative_durations_yield_empty_traces() {
+    // A model set that demonstrably generates for a sane window, so an
+    // empty result below is attributable to the duration handling alone.
+    let world = cn_world::generate_world(&cn_world::WorldConfig::new(
+        PopulationMix::new(12, 5, 3),
+        1.0,
+        3,
+    ));
+    let set = cn_fit::fit(&world, &cn_fit::FitConfig::new(Method::Ours));
+    let sane = GenConfig::new(
+        PopulationMix::new(12, 5, 3),
+        Timestamp::at_hour(0, 10),
+        1.0,
+        11,
+    );
+    assert!(!generate(&set, &sane).is_empty(), "sane window generates");
+
+    // `duration_hours` is a public field, so hostile values can bypass the
+    // constructor's saturation; every engine must produce an *empty* trace
+    // (end == start), never garbage or a never-ending stream.
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
+        let mut config = sane;
+        config.duration_hours = bad;
+        assert_eq!(config.end(), config.start, "duration {bad}");
+        assert!(generate(&set, &config).is_empty(), "batch, duration {bad}");
+        assert_eq!(
+            PopulationStream::new(&set, &config).count(),
+            0,
+            "stream, duration {bad}"
+        );
+        assert_eq!(
+            ShardedStream::with_shards(&set, &config, 2).count(),
+            0,
+            "sharded, duration {bad}"
+        );
     }
 }
 

@@ -15,7 +15,11 @@ pub struct KsOutcome {
     pub statistic: f64,
     /// Asymptotic p-value for `D_n`.
     pub p_value: f64,
-    /// Sample size used.
+    /// The sample size the p-value was computed from: the sample count for
+    /// one-sample tests, and the **rounded effective size** `n·m/(n+m)`
+    /// for two-sample tests — so `kolmogorov_p_value(statistic, n)`
+    /// reproduces `p_value` (exactly when the effective size is integral,
+    /// to rounding otherwise).
     pub n: usize,
 }
 
@@ -105,16 +109,22 @@ pub fn two_sample_distance(a: &[f64], b: &[f64]) -> Option<f64> {
 }
 
 /// Full two-sample K–S test: statistic plus the asymptotic p-value with
-/// the effective sample size `n·m/(n+m)`.
+/// the effective sample size `n_eff = n·m/(n+m)`.
+///
+/// The returned outcome's `n` is the rounded `n_eff` — the size the
+/// p-value was actually computed from — not `min(n, m)` as it once was:
+/// a reported `(statistic, n)` pair now reproduces the reported p-value
+/// through [`kolmogorov_p_value`]. The product is taken in `f64`, so
+/// week-scale sample counts cannot overflow `usize` on any target.
 pub fn two_sample_test(a: &[f64], b: &[f64]) -> Option<KsOutcome> {
     let d = two_sample_distance(a, b)?;
-    let n_eff = (a.len() * b.len()) as f64 / (a.len() + b.len()) as f64;
+    let n_eff = a.len() as f64 * b.len() as f64 / (a.len() as f64 + b.len() as f64);
     let sqrt_n = n_eff.sqrt();
     let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
     Some(KsOutcome {
         statistic: d,
         p_value: q_ks(lambda),
-        n: a.len().min(b.len()),
+        n: n_eff.round() as usize,
     })
 }
 
@@ -129,7 +139,9 @@ pub fn two_sample_critical_distance(alpha: f64, n: usize, m: usize) -> Option<f6
     if !(0.0..1.0).contains(&alpha) || alpha == 0.0 || n == 0 || m == 0 {
         return None;
     }
-    let n_eff = (n * m) as f64 / (n + m) as f64;
+    // Multiply in f64: `n * m` in `usize` overflows for large samples on
+    // 32-bit targets and for week-scale event counts even on 64-bit.
+    let n_eff = n as f64 * m as f64 / (n as f64 + m as f64);
     let sqrt_n = n_eff.sqrt();
     // Invert Q(λ) = alpha by bisection (Q is continuous and strictly
     // decreasing on (0, ∞), from 1 to 0).
@@ -236,6 +248,31 @@ mod tests {
         let strict = two_sample_critical_distance(0.01, 100, 100).unwrap();
         let lax = two_sample_critical_distance(0.10, 100, 100).unwrap();
         assert!(strict > lax);
+    }
+
+    #[test]
+    fn two_sample_n_is_the_p_value_basis() {
+        // 400 and 100 samples: n_eff = 400·100/500 = 80 exactly, so the
+        // reported (statistic, n) pair must reproduce the reported p-value.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..400).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let b: Vec<f64> = (0..100).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let out = two_sample_test(&a, &b).unwrap();
+        assert_eq!(out.n, 80);
+        let p = kolmogorov_p_value(out.statistic, out.n);
+        assert!((p - out.p_value).abs() < 1e-12, "{p} vs {}", out.p_value);
+    }
+
+    #[test]
+    fn critical_distance_survives_week_scale_sample_counts() {
+        // The old `usize` product overflowed here (debug: panic; release:
+        // wraparound garbage). In f64 the result is small, positive, and
+        // consistent with the large-sample approximation.
+        let n = usize::MAX / 2;
+        let d = two_sample_critical_distance(0.05, n, n).unwrap();
+        assert!(d.is_finite() && d > 0.0, "d = {d}");
+        let approx = 1.358 * (2.0 / n as f64).sqrt();
+        assert!((d - approx).abs() / approx < 0.05, "{d} vs {approx}");
     }
 
     #[test]

@@ -96,6 +96,40 @@ impl<T: Ord> LoserTree<T> {
         self.heads[self.winner()?].as_ref()
     }
 
+    /// Current head of run `run` (`None` once that run is exhausted).
+    pub fn head(&self, run: usize) -> Option<&T> {
+        self.heads[run].as_ref()
+    }
+
+    /// Index of the run holding the *second*-smallest head — the run that
+    /// would win if the current winner's run were exhausted — or `None`
+    /// when at most one run is still live.
+    ///
+    /// Classic tournament property: every run other than the winner lost
+    /// exactly once along some root path, and the overall runner-up lost
+    /// its match *against the winner*, so it is one of the ⌈log₂k⌉ losers
+    /// stored on the winner's leaf-to-root path. This is the batched-merge
+    /// primitive: every element of the winner's run that precedes the
+    /// runner-up's head can be emitted without touching the tree (see
+    /// [`LoserTree::replace_run`]).
+    pub fn runner_up(&self) -> Option<usize> {
+        let w = self.winner()?;
+        let k = self.heads.len();
+        let mut best: Option<usize> = None;
+        let mut node = (k + w) / 2;
+        while node > 0 {
+            let cand = self.losers[node];
+            if self.heads[cand].is_some() {
+                best = Some(match best {
+                    Some(b) if !beats(&self.heads, cand, b) => b,
+                    _ => cand,
+                });
+            }
+            node /= 2;
+        }
+        best
+    }
+
     /// Number of runs that still have elements.
     pub fn live(&self) -> usize {
         self.live
@@ -123,6 +157,19 @@ impl<T: Ord> LoserTree<T> {
         }
         self.losers[0] = winner;
         popped
+    }
+
+    /// Batched-advance entry point: replace the winner's head with `next`
+    /// and replay its leaf-to-root path, *discarding* the popped head.
+    ///
+    /// This is how a block-draining consumer advances the merge: it reads
+    /// the winner's run directly (every element preceding the
+    /// [`LoserTree::runner_up`] head, found with one comparison each), then
+    /// installs the run's next element with a single ⌈log₂k⌉ replay for the
+    /// whole run instead of one per record. No-op when the merge is already
+    /// complete.
+    pub fn replace_run(&mut self, next: Option<T>) {
+        let _ = self.pop_and_replace(next);
     }
 }
 
@@ -246,6 +293,99 @@ mod tests {
             expect.sort_unstable();
             assert_eq!(merged, expect, "trial {trial}, k = {k}");
         }
+    }
+
+    #[test]
+    fn runner_up_is_the_second_smallest_head() {
+        // heads 5, 3, 9, 3: run 1 wins (ties break low), run 3 is next.
+        let tree = LoserTree::new(vec![Some(5u32), Some(3), Some(9), Some(3)]);
+        assert_eq!(tree.winner(), Some(1));
+        assert_eq!(tree.runner_up(), Some(3));
+        assert_eq!(tree.head(3), Some(&3));
+        // A single live run has no runner-up.
+        let tree = LoserTree::new(vec![None, Some(7u32), None]);
+        assert_eq!(tree.winner(), Some(1));
+        assert_eq!(tree.runner_up(), None);
+        // Empty tree: neither.
+        let tree: LoserTree<u32> = LoserTree::new(Vec::new());
+        assert_eq!(tree.runner_up(), None);
+    }
+
+    #[test]
+    fn runner_up_matches_naive_minimum_throughout_a_merge() {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..100 {
+            let k = (next() % 9 + 1) as usize;
+            let runs: Vec<Vec<u64>> = (0..k)
+                .map(|_| {
+                    let len = (next() % 12) as usize;
+                    let mut r: Vec<u64> = (0..len).map(|_| next() % 30).collect();
+                    r.sort_unstable();
+                    r
+                })
+                .collect();
+            let mut cursors = vec![1usize; k];
+            let mut tree = LoserTree::new(runs.iter().map(|r| r.first().copied()).collect());
+            while let Some(w) = tree.winner() {
+                // Naive second-smallest: min over every non-winner head,
+                // ties toward the lower run index.
+                let naive = (0..k)
+                    .filter(|&i| i != w && tree.head(i).is_some())
+                    .min_by(|&a, &b| tree.head(a).cmp(&tree.head(b)).then(a.cmp(&b)));
+                assert_eq!(tree.runner_up(), naive, "trial {trial}, k {k}");
+                let n = runs[w].get(cursors[w]).copied();
+                cursors[w] += 1;
+                tree.pop_and_replace(n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_drain_via_runner_up_equals_merge_sorted() {
+        // Drive the merge the way the sharded consumer does: emit the
+        // winner's whole run prefix up to the runner-up's head with direct
+        // reads, then advance the tree once per run via replace_run.
+        let runs = vec![
+            vec![0u64, 1, 2, 3, 10, 11],
+            vec![4, 5, 6],
+            vec![2, 7, 12],
+            vec![],
+        ];
+        let mut cursors = vec![0usize; runs.len()];
+        let mut tree = LoserTree::new(runs.iter().map(|r| r.first().copied()).collect());
+        for c in cursors.iter_mut().zip(&runs) {
+            *c.0 = usize::from(!c.1.is_empty());
+        }
+        let mut out = Vec::new();
+        while let Some(w) = tree.winner() {
+            let bound = tree.runner_up().map(|u| (*tree.head(u).unwrap(), u));
+            // tree.head(w) is runs[w][cursors[w] - 1]; emit it plus every
+            // successor that still precedes the bound.
+            out.push(*tree.head(w).unwrap());
+            while let Some(&x) = runs[w].get(cursors[w]) {
+                let precedes = match bound {
+                    None => true,
+                    Some((b, u)) => x < b || (x == b && w < u),
+                };
+                if !precedes {
+                    break;
+                }
+                out.push(x);
+                cursors[w] += 1;
+            }
+            let n = runs[w].get(cursors[w]).copied();
+            cursors[w] += 1;
+            tree.replace_run(n);
+        }
+        let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
     }
 
     #[test]

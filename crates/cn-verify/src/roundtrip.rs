@@ -103,6 +103,8 @@ pub struct TransitionCheck {
     /// Re-fitted branch probability.
     pub prob_refit: f64,
     /// Two-sample K–S outcome (`None` when there were no observations).
+    /// Its `n` is the *effective* size `n·m/(n+m)` the p-value was computed
+    /// from, not `n_observed` or `n_truth`.
     pub ks: Option<KsOutcome>,
     /// Critical K–S distance at the configured `alpha` for the compared
     /// sample sizes — the margin the statistic was measured against.
@@ -242,8 +244,15 @@ pub fn run_round_trip(gt: &GroundTruth, cfg: &RoundTripConfig) -> RoundTripRepor
     for c in &checks {
         let measured = match (&c.ks, c.critical_d) {
             (Some(ks), Some(crit)) => format!(
-                "D={:.4} (crit {:.4}), p={:.3}, prob {:.3} vs {:.3}, n={}/{}",
-                ks.statistic, crit, ks.p_value, c.prob_refit, c.prob_truth, c.n_observed, c.n_truth
+                "D={:.4} (crit {:.4}), p={:.3}, prob {:.3} vs {:.3}, n={}/{} (eff {})",
+                ks.statistic,
+                crit,
+                ks.p_value,
+                c.prob_refit,
+                c.prob_truth,
+                c.n_observed,
+                c.n_truth,
+                ks.n
             ),
             _ => format!(
                 "only {} observed samples (need {})",
