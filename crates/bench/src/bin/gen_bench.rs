@@ -5,7 +5,8 @@
 //! run it and diff the JSON against the previous PR's numbers:
 //!
 //! ```text
-//! cargo run --release -p bench --bin gen_bench [-- out.json] [--gate MIN]
+//! cargo run --release -p bench --bin gen_bench \
+//!     [-- out.json] [--gate MIN] [--metrics obs.json]
 //! ```
 //!
 //! The protocol (see `bench::bench_json` for the format contract):
@@ -29,8 +30,19 @@
 //! `--gate MIN` exits non-zero if the 1-shard speedup falls below `MIN`
 //! (CI uses 0.95): with the adaptive inline path, `with_shards(.., 1)`
 //! must cost essentially nothing over the sequential stream.
+//!
+//! `--metrics PATH` additionally measures the parallel shard count with a
+//! live `cn-obs` registry attached and writes the final repetition's
+//! [`cn_obs::ObsSnapshot`] to `PATH`. That run is recorded as the
+//! `instrumented` point in the JSON — the telemetry overhead budget is a
+//! tracked number, not a claim — and the snapshot's per-shard /
+//! merge-side event ledger must balance exactly against the stream's
+//! event count or the benchmark exits non-zero.
 
-use bench::{bench_json, measure_reps, run_sequential, run_sharded, ShardPoint};
+use bench::{
+    bench_json, check_snapshot_events, measure_reps, run_sequential, run_sharded,
+    run_sharded_observed, ShardPoint,
+};
 use cn_fit::{fit, FitConfig, Method};
 use cn_gen::{effective_parallelism, GenConfig};
 use cn_trace::{PopulationMix, Timestamp};
@@ -45,11 +57,14 @@ const MIN_WALL_MS: f64 = 500.0;
 fn main() {
     let mut out = "BENCH_gen.json".to_string();
     let mut gate: Option<f64> = None;
+    let mut metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--gate" {
             let v = args.next().expect("--gate needs a value");
             gate = Some(v.parse().expect("--gate value must be a number"));
+        } else if a == "--metrics" {
+            metrics = Some(args.next().expect("--metrics needs a path"));
         } else {
             out = a;
         }
@@ -107,11 +122,51 @@ fn main() {
         points.push(p);
     }
 
+    // The instrumented run: the parallel shard count again, this time with
+    // a live registry. Measured whenever `--metrics` is given so both the
+    // overhead (the `instrumented` JSON point) and the snapshot are real
+    // artifacts of this box, not estimates. A fresh registry per rep keeps
+    // each snapshot a single-run ledger; the final rep's snapshot is kept.
+    let parallel_shards = *shard_counts.last().expect("two shard counts measured");
+    let mut instrumented = None;
+    if let Some(metrics_path) = &metrics {
+        eprintln!("instrumented stream ({parallel_shards} shards + cn-obs, {REPS} reps) ...");
+        let mut snapshot = None;
+        let stats = measure_reps(REPS, || {
+            let registry = cn_obs::Registry::new();
+            let events = run_sharded_observed(&models, &config, parallel_shards, &registry);
+            snapshot = Some(registry.snapshot());
+            events
+        });
+        let snapshot = snapshot.expect("at least one instrumented rep ran");
+        let p = ShardPoint::against(parallel_shards, stats, &baseline);
+        eprintln!(
+            "  {} events, median {:.0} ms / min {:.0} ms ({:.0} events/s, {:.3}x baseline)",
+            stats.events,
+            stats.wall_ms_median,
+            stats.wall_ms_min,
+            stats.events_per_sec,
+            p.speedup_vs_baseline
+        );
+        if let Err(e) = check_snapshot_events(&snapshot, stats.events) {
+            eprintln!("METRICS LEDGER FAILED: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "  metrics ledger ok: per-shard and merge counters both equal {} events",
+            stats.events
+        );
+        std::fs::write(metrics_path, snapshot.to_json()).expect("write metrics snapshot");
+        eprintln!("wrote {metrics_path}");
+        instrumented = Some(p);
+    }
+
     let json = bench_json(
         "20000 UEs x 12h, Method::Ours, seed 2023",
         cores,
         &baseline,
         &points,
+        instrumented.as_ref(),
     );
     std::fs::write(&out, &json).expect("write bench json");
     print!("{json}");

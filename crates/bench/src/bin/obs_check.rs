@@ -1,0 +1,91 @@
+//! CI cross-check of the two benchmark artifacts: the telemetry snapshot
+//! `obs.json` (written by `gen_bench --metrics`) against the recorded
+//! `BENCH_gen.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin obs_check -- obs.json BENCH_gen.json
+//! ```
+//!
+//! Exits non-zero unless all of:
+//!
+//! * `obs.json` parses back into a [`cn_obs::ObsSnapshot`] — the artifact
+//!   a human downloads must actually be readable by the library that
+//!   claims to have written it;
+//! * `BENCH_gen.json` parses and carries a fixed `events` count and an
+//!   `instrumented` point (the snapshot is meaningless without the run
+//!   that produced it);
+//! * the snapshot's event ledger balances against that count: the summed
+//!   per-shard `cn_gen_shard_events_total` and the consumer-side
+//!   `cn_gen_merge_events_total` both equal `events` exactly.
+//!
+//! `gen_bench` already enforces the ledger in-process; this binary proves
+//! the property survives the trip through the filesystem and the JSON
+//! codec — i.e. that the *artifact*, not just the in-memory registry, is
+//! trustworthy evidence when a later gate failure sends someone back to
+//! read it.
+
+use bench::check_snapshot_events;
+use cn_obs::ObsSnapshot;
+use serde_json::JsonValue;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// Look up `key` in a JSON object.
+fn field<'v>(obj: &'v JsonValue, key: &str) -> Option<&'v JsonValue> {
+    obj.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Interpret a JSON number as a non-negative integer.
+fn as_count(v: &JsonValue) -> Option<u64> {
+    match v {
+        JsonValue::UInt(n) => Some(*n),
+        JsonValue::Int(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let obs_path = args.next().unwrap_or_else(|| "obs.json".to_string());
+    let bench_path = args.next().unwrap_or_else(|| "BENCH_gen.json".to_string());
+
+    let obs_text = std::fs::read_to_string(&obs_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {obs_path}: {e}")));
+    let snapshot =
+        ObsSnapshot::from_json(&obs_text).unwrap_or_else(|e| fail(&format!("{obs_path}: {e}")));
+
+    let bench_text = std::fs::read_to_string(&bench_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {bench_path}: {e}")));
+    let bench: JsonValue = serde_json::from_str(&bench_text)
+        .unwrap_or_else(|e| fail(&format!("{bench_path}: invalid JSON: {e:?}")));
+
+    let events = field(&bench, "events")
+        .and_then(as_count)
+        .unwrap_or_else(|| fail(&format!("{bench_path} has no integer \"events\" key")));
+    let instrumented = field(&bench, "instrumented")
+        .unwrap_or_else(|| fail(&format!("{bench_path} has no \"instrumented\" key")));
+    let instrumented_shards = match instrumented {
+        JsonValue::Null => fail(&format!(
+            "{bench_path} records \"instrumented\": null — the snapshot \
+             {obs_path} has no matching benchmark run"
+        )),
+        p => field(p, "shards")
+            .and_then(as_count)
+            .unwrap_or_else(|| fail(&format!("{bench_path}: instrumented point has no shards"))),
+    };
+
+    if let Err(e) = check_snapshot_events(&snapshot, events) {
+        fail(&format!(
+            "{obs_path} does not balance against {bench_path}: {e}"
+        ));
+    }
+
+    println!(
+        "obs_check ok: {obs_path} parses ({} metrics), shard + merge counters both equal \
+         the workload's {events} events (instrumented at {instrumented_shards} shards)",
+        snapshot.metrics.len()
+    );
+}

@@ -23,6 +23,7 @@
 
 use cn_fit::ModelSet;
 use cn_gen::{GenConfig, PopulationStream, ShardedStream};
+use cn_obs::{ObsSnapshot, Registry};
 use std::time::Instant;
 
 /// One measured generation run.
@@ -157,12 +158,54 @@ pub fn run_sharded(models: &ModelSet, config: &GenConfig, shards: usize) -> u64 
     ShardedStream::with_shards(models, config, shards).count() as u64
 }
 
-fn point_json(p: &ShardPoint) -> String {
+/// Drain the sharded stream with full `cn-obs` telemetry enabled — the
+/// instrumented configuration `gen_bench --metrics` measures and
+/// snapshots.
+pub fn run_sharded_observed(
+    models: &ModelSet,
+    config: &GenConfig,
+    shards: usize,
+    registry: &Registry,
+) -> u64 {
+    ShardedStream::with_shards_observed(models, config, shards, registry).count() as u64
+}
+
+/// The telemetry honesty gate: a fully drained sharded run's summed
+/// per-shard production (`cn_gen_shard_events_total{shard=i}`) and the
+/// consumer-side merge total (`cn_gen_merge_events_total`) must both
+/// equal the workload's event count — if the ledger disagrees with the
+/// stream, the instrumentation (not the generator) is broken, and the
+/// snapshot must not be recorded as if it were evidence.
+pub fn check_snapshot_events(snapshot: &ObsSnapshot, events: u64) -> Result<(), String> {
+    let produced = snapshot
+        .counter_total("cn_gen_shard_events_total")
+        .ok_or("snapshot has no cn_gen_shard_events_total counters (not a parallel run?)")?;
+    if produced != events {
+        return Err(format!(
+            "per-shard counters sum to {produced} events, stream produced {events}"
+        ));
+    }
+    let merged = snapshot
+        .counter("cn_gen_merge_events_total")
+        .ok_or("snapshot has no cn_gen_merge_events_total counter")?;
+    if merged != events {
+        return Err(format!(
+            "merge counter reports {merged} events, stream produced {events}"
+        ));
+    }
+    Ok(())
+}
+
+fn point_fields(p: &ShardPoint) -> String {
     format!(
-        "    {{ \"shards\": {}, \"events_per_sec\": {:.1}, \"wall_ms_median\": {:.1}, \"wall_ms_min\": {:.1}, \"speedup_vs_baseline\": {:.3} }}",
+        "{{ \"shards\": {}, \"events_per_sec\": {:.1}, \"wall_ms_median\": {:.1}, \"wall_ms_min\": {:.1}, \"speedup_vs_baseline\": {:.3} }}",
         p.shards, p.stats.events_per_sec, p.stats.wall_ms_median, p.stats.wall_ms_min,
         p.speedup_vs_baseline,
     )
+}
+
+fn point_json(p: &ShardPoint) -> String {
+    format!("    {}", point_fields(p))
 }
 
 /// Render the `BENCH_gen.json` payload. Hand-rolled with a stable key
@@ -179,12 +222,19 @@ fn point_json(p: &ShardPoint) -> String {
 ///
 /// * `points` must contain a `shards == 1` entry **and** a
 ///   `shards == cores` entry;
-/// * every point, and the baseline, must report the same event count.
+/// * every point, the baseline, and the `instrumented` point (when
+///   present) must report the same event count.
+///
+/// `instrumented` is the same workload drained with a live `cn-obs`
+/// registry attached ([`run_sharded_observed`]); recording it beside the
+/// uninstrumented points keeps the telemetry overhead budget visible in
+/// the tracked file instead of taking "negligible" on faith.
 pub fn bench_json(
     workload: &str,
     cores: usize,
     baseline: &RepStats,
     points: &[ShardPoint],
+    instrumented: Option<&ShardPoint>,
 ) -> String {
     let headline = points
         .iter()
@@ -201,10 +251,20 @@ pub fn bench_json(
             p.shards
         );
     }
+    if let Some(p) = instrumented {
+        assert_eq!(
+            p.stats.events, baseline.events,
+            "instrumented event count diverged from the sequential baseline"
+        );
+    }
     let rss = peak_rss_mb().unwrap_or(0.0);
     let rendered: Vec<String> = points.iter().map(point_json).collect();
+    let instrumented_json = match instrumented {
+        Some(p) => point_fields(p),
+        None => "null".to_string(),
+    };
     format!(
-        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"single_core\": {single_core},\n  \"events\": {events},\n  \"reps\": {reps},\n  \"shards\": {shards},\n  \"events_per_sec\": {eps:.1},\n  \"wall_ms\": {wall:.1},\n  \"wall_ms_min\": {wall_min:.1},\n  \"peak_rss_mb\": {rss:.1},\n  \"speedup_vs_baseline\": {speedup:.3},\n  \"baseline_single_thread\": {{\n    \"events_per_sec\": {beps:.1},\n    \"wall_ms_median\": {bwall:.1},\n    \"wall_ms_min\": {bwall_min:.1},\n    \"events\": {bevents}\n  }},\n  \"points\": [\n{points_json}\n  ]\n}}\n",
+        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"single_core\": {single_core},\n  \"events\": {events},\n  \"reps\": {reps},\n  \"shards\": {shards},\n  \"events_per_sec\": {eps:.1},\n  \"wall_ms\": {wall:.1},\n  \"wall_ms_min\": {wall_min:.1},\n  \"peak_rss_mb\": {rss:.1},\n  \"speedup_vs_baseline\": {speedup:.3},\n  \"baseline_single_thread\": {{\n    \"events_per_sec\": {beps:.1},\n    \"wall_ms_median\": {bwall:.1},\n    \"wall_ms_min\": {bwall_min:.1},\n    \"events\": {bevents}\n  }},\n  \"instrumented\": {instrumented_json},\n  \"points\": [\n{points_json}\n  ]\n}}\n",
         single_core = cores == 1,
         events = baseline.events,
         reps = baseline.reps,
@@ -285,7 +345,7 @@ mod tests {
         let baseline = stats(10, &[1.0, 2.0, 3.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0, 2.0, 2.0]), &baseline);
         let p4 = ShardPoint::against(4, stats(10, &[1.0, 1.0, 1.0]), &baseline);
-        let json = bench_json("test", 4, &baseline, &[p1, p4]);
+        let json = bench_json("test", 4, &baseline, &[p1, p4], None);
         for key in [
             "\"workload\"",
             "\"cores\": 4",
@@ -314,11 +374,11 @@ mod tests {
         let baseline = stats(10, &[2.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         // cores = 4 but only a 1-shard point measured: refuse.
-        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1]));
+        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1], None));
         assert!(r.is_err(), "shards=1 must not pose as a 4-core result");
         // A missing 1-shard point is refused too.
         let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
-        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p4]));
+        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p4], None));
         assert!(r.is_err(), "the shards=1 point is mandatory");
     }
 
@@ -327,8 +387,52 @@ mod tests {
         let baseline = stats(10, &[2.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         let bad = ShardPoint::against(4, stats(11, &[1.0]), &baseline);
-        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1, bad]));
+        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1, bad], None));
         assert!(r.is_err(), "diverging event counts must be refused");
+        // The instrumented point is held to the same standard.
+        let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
+        let drifted = ShardPoint::against(4, stats(12, &[1.5]), &baseline);
+        let r = std::panic::catch_unwind(|| {
+            bench_json("test", 4, &baseline, &[p1, p4], Some(&drifted))
+        });
+        assert!(r.is_err(), "a drifting instrumented count must be refused");
+    }
+
+    #[test]
+    fn json_records_the_instrumented_point() {
+        let baseline = stats(10, &[2.0]);
+        let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
+        let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
+        let observed = ShardPoint::against(4, stats(10, &[1.2]), &baseline);
+        let json = bench_json("test", 4, &baseline, &[p1, p4], Some(&observed));
+        assert!(
+            json.contains("\"instrumented\": { \"shards\": 4,"),
+            "{json}"
+        );
+        let json = bench_json("test", 4, &baseline, &[p1, p4], None);
+        assert!(json.contains("\"instrumented\": null"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_check_demands_a_balanced_ledger() {
+        let registry = Registry::new();
+        registry
+            .counter_with("cn_gen_shard_events_total", &[("shard", "0")])
+            .add(6);
+        registry
+            .counter_with("cn_gen_shard_events_total", &[("shard", "1")])
+            .add(4);
+        registry.counter("cn_gen_merge_events_total").add(10);
+        let snap = registry.snapshot();
+        assert_eq!(check_snapshot_events(&snap, 10), Ok(()));
+        assert!(check_snapshot_events(&snap, 11).is_err());
+        // A merge/shard mismatch is caught even when one side agrees.
+        registry.counter("cn_gen_merge_events_total").add(1);
+        assert!(check_snapshot_events(&registry.snapshot(), 10).is_err());
+        // An inline (no per-shard series) snapshot is not valid evidence.
+        let inline = Registry::new();
+        inline.counter("cn_gen_merge_events_total").add(10);
+        assert!(check_snapshot_events(&inline.snapshot(), 10).is_err());
     }
 
     #[test]
@@ -336,7 +440,7 @@ mod tests {
         let baseline = stats(10, &[2.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         let p2 = ShardPoint::against(2, stats(10, &[3.0]), &baseline);
-        let json = bench_json("test", 1, &baseline, &[p1, p2]);
+        let json = bench_json("test", 1, &baseline, &[p1, p2], None);
         assert!(json.contains("\"single_core\": true"), "{json}");
         assert!(json.contains("\"shards\": 1,"), "{json}");
     }

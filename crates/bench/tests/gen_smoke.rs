@@ -3,9 +3,13 @@
 //! the streaming pipeline (or the bench plumbing itself) breaks
 //! `cargo test` instead of silently corrupting the recorded trajectory.
 
-use bench::{bench_json, measure_reps, run_sequential, run_sharded, ShardPoint};
+use bench::{
+    bench_json, check_snapshot_events, measure_reps, run_sequential, run_sharded,
+    run_sharded_observed, ShardPoint,
+};
 use cn_fit::{fit, FitConfig, Method};
 use cn_gen::{generate, GenConfig};
+use cn_obs::Registry;
 use cn_trace::{PopulationMix, Timestamp};
 use cn_world::{generate_world, WorldConfig};
 
@@ -38,9 +42,28 @@ fn bench_pipeline_smoke() {
     assert_eq!(baseline.events, p1.stats.events, "1-shard event count");
     assert_eq!(baseline.events, p3.stats.events, "3-shard event count");
 
+    // The instrumented configuration `--metrics` measures: same workload,
+    // live registry. Keep the final rep's snapshot and hold its ledger to
+    // the stream's event count, exactly as `gen_bench` does.
+    let mut snapshot = None;
+    let observed = ShardPoint::against(
+        3,
+        measure_reps(2, || {
+            let registry = Registry::new();
+            let events = run_sharded_observed(&models, &config, 3, &registry);
+            snapshot = Some(registry.snapshot());
+            events
+        }),
+        &baseline,
+    );
+    let snapshot = snapshot.expect("at least one observed rep ran");
+    assert_eq!(baseline.events, observed.stats.events, "observed count");
+    check_snapshot_events(&snapshot, observed.stats.events)
+        .expect("telemetry ledger must balance against the stream");
+
     // `bench_json` itself re-asserts both shard points and equal event
     // counts — rendering succeeding is part of the smoke.
-    let json = bench_json("smoke", 3, &baseline, &[p1, p3]);
+    let json = bench_json("smoke", 3, &baseline, &[p1, p3], Some(&observed));
     for key in [
         "\"events_per_sec\"",
         "\"peak_rss_mb\"",
@@ -51,15 +74,24 @@ fn bench_pipeline_smoke() {
         "\"reps\": 2",
         "\"speedup_vs_baseline\"",
         "\"baseline_single_thread\"",
+        "\"instrumented\": { \"shards\": 3,",
         "{ \"shards\": 1,",
         "{ \"shards\": 3,",
     ] {
         assert!(json.contains(key), "bench json missing {key}: {json}");
     }
 
+    // The snapshot itself must survive a JSON round trip — `obs_check`
+    // reads it back from disk in CI.
+    let parsed = cn_obs::ObsSnapshot::from_json(&snapshot.to_json()).expect("snapshot round trip");
+    assert_eq!(
+        parsed.counter("cn_gen_merge_events_total"),
+        Some(baseline.events)
+    );
+
     // A file whose headline poses as parallel without the cores point
     // measured must be refused outright.
-    let refused = std::panic::catch_unwind(|| bench_json("smoke", 3, &baseline, &[p1]));
+    let refused = std::panic::catch_unwind(|| bench_json("smoke", 3, &baseline, &[p1], None));
     assert!(
         refused.is_err(),
         "bench_json accepted a headline without the shards == cores point"

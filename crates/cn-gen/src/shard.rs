@@ -59,15 +59,31 @@
 //! the consumer only ever blocks on the one channel whose run it needs
 //! next, and that channel's producer never waits on anything but the same
 //! channel's free space.
+//!
+//! ### Observability
+//!
+//! The `*_observed` constructors take a [`cn_obs::Registry`] and light up
+//! the pipeline's telemetry — per-shard ship counters and channel-full
+//! stall time, the merge run-length histogram, and mode gauges (see
+//! [`ShardedStream::with_shards_observed`] for the full metric list).
+//! Once a stream is fully drained, the summed
+//! `cn_gen_shard_events_total{shard=i}` counters equal
+//! `cn_gen_merge_events_total` — the invariant `gen_bench --metrics`
+//! re-checks on every CI run. All counting is per block or per run, so
+//! the per-record hot paths are untouched; with a disabled registry the
+//! handles are no-ops and the unobserved constructors delegate here with
+//! exactly that.
 
 use crate::engine::{effective_parallelism, ue_stream_seed, GenConfig};
 use crate::per_ue::UeEventIter;
 use crate::stream::PopulationStream;
 use cn_fit::ModelSet;
+use cn_obs::{Counter, Histogram, Registry};
 use cn_trace::{LoserTree, TraceRecord, UeId};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Records per channel block (~64 KiB of `TraceRecord`s: large enough to
 /// amortize channel synchronization, small enough to keep the pipeline
@@ -126,10 +142,43 @@ pub struct ShardedStream<'m> {
 }
 
 enum Inner<'m> {
-    /// Single-shard fast path: the sequential merge, zero threads.
+    /// Single-shard fast path: the sequential merge, zero threads. The
+    /// unobserved variant is a pure delegation — splitting it from
+    /// [`Inner::InlineObserved`] keeps the default path's per-record cost
+    /// at exactly zero added instructions (the `--gate 0.95` benchmark
+    /// floor leaves no budget for even a per-record branch here).
     Inline(PopulationStream<'m>),
+    /// The inline fast path with a live registry attached.
+    InlineObserved {
+        stream: PopulationStream<'m>,
+        /// `cn_gen_merge_events_total`, fed from `pending` in batches so
+        /// the observed inline hot path pays one plain add per record,
+        /// not one atomic op (flushed every [`BLOCK_RECORDS`], at
+        /// exhaustion, and on drop).
+        events: Counter,
+        pending: u64,
+    },
     /// Worker threads + block channels + consumer-side S-way merge.
     Parallel(ParallelStream),
+}
+
+/// Consumer-side merge telemetry (no-op handles when unobserved).
+struct MergeObs {
+    /// `cn_gen_merge_events_total` — records handed to the consumer.
+    events: Counter,
+    /// `cn_gen_merge_run_len` — length of each block-drained run: long
+    /// runs mean the merge is amortizing well, a spike of 1s means the
+    /// shards are interleaving record-by-record.
+    run_len: Histogram,
+}
+
+impl MergeObs {
+    fn register(registry: &Registry) -> MergeObs {
+        MergeObs {
+            events: registry.counter("cn_gen_merge_events_total"),
+            run_len: registry.histogram("cn_gen_merge_run_len"),
+        }
+    }
 }
 
 /// The multi-worker pipeline behind [`ShardedStream`] at `S ≥ 2`.
@@ -141,6 +190,7 @@ struct ParallelStream {
     /// Unemitted records of the current run; all of them precede every
     /// other shard's head, so they bypass the tree entirely.
     run_len: usize,
+    obs: MergeObs,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -149,12 +199,23 @@ impl<'m> ShardedStream<'m> {
     /// (`config.threads`, `0` = all cores via
     /// [`crate::effective_parallelism`]).
     pub fn new(models: &'m ModelSet, config: &GenConfig) -> ShardedStream<'m> {
+        Self::new_observed(models, config, &Registry::disabled())
+    }
+
+    /// As [`ShardedStream::new`], recording pipeline telemetry into
+    /// `registry` (see [`ShardedStream::with_shards_observed`] for the
+    /// metrics emitted).
+    pub fn new_observed(
+        models: &'m ModelSet,
+        config: &GenConfig,
+        registry: &Registry,
+    ) -> ShardedStream<'m> {
         let shards = if config.threads == 0 {
             effective_parallelism()
         } else {
             config.threads
         };
-        Self::with_shards(models, config, shards)
+        Self::with_shards_observed(models, config, shards, registry)
     }
 
     /// As [`ShardedStream::new`] with an explicit shard count. One shard
@@ -166,17 +227,58 @@ impl<'m> ShardedStream<'m> {
         config: &GenConfig,
         shards: usize,
     ) -> ShardedStream<'m> {
+        Self::with_shards_observed(models, config, shards, &Registry::disabled())
+    }
+
+    /// As [`ShardedStream::with_shards`], recording pipeline telemetry
+    /// into `registry`:
+    ///
+    /// * `cn_gen_shard_events_total{shard=i}` / `_blocks_total{shard=i}` —
+    ///   records and blocks each worker shipped;
+    /// * `cn_gen_shard_stall_ns_total{shard=i}` — time the worker spent
+    ///   blocked on a full channel (consumer backpressure);
+    /// * `cn_gen_merge_events_total` — records the consumer-side merge
+    ///   emitted (equals the summed per-shard counters once the stream
+    ///   is fully drained);
+    /// * `cn_gen_merge_run_len` — histogram of block-drain run lengths;
+    /// * `cn_gen_shard_mode_parallel` / `cn_gen_shard_workers` — gauges
+    ///   exposing which execution path engaged.
+    ///
+    /// With a disabled registry every handle is a no-op and the pipeline
+    /// is byte-for-byte the unobserved one (the stall timer is not even
+    /// read).
+    pub fn with_shards_observed(
+        models: &'m ModelSet,
+        config: &GenConfig,
+        shards: usize,
+        registry: &Registry,
+    ) -> ShardedStream<'m> {
         let shards = shards.clamp(1, (config.population.total() as usize).max(1));
+        let mode = registry.gauge("cn_gen_shard_mode_parallel");
+        let workers = registry.gauge("cn_gen_shard_workers");
         if shards == 1 {
-            return ShardedStream {
-                inner: Inner::Inline(PopulationStream::new(models, config)),
+            mode.set(0);
+            workers.set(0);
+            let stream = PopulationStream::new(models, config);
+            let inner = if registry.is_enabled() {
+                Inner::InlineObserved {
+                    stream,
+                    events: registry.counter("cn_gen_merge_events_total"),
+                    pending: 0,
+                }
+            } else {
+                Inner::Inline(stream)
             };
+            return ShardedStream { inner };
         }
+        mode.set(1);
+        workers.set(shards as u64);
         ShardedStream {
             inner: Inner::Parallel(ParallelStream::spawn(
                 Arc::new(models.clone()),
                 config,
                 shards,
+                registry,
             )),
         }
     }
@@ -184,14 +286,14 @@ impl<'m> ShardedStream<'m> {
     /// True when this stream runs on the caller's thread (the single-shard
     /// fast path): no worker threads, no channels were created.
     pub fn is_inline(&self) -> bool {
-        matches!(self.inner, Inner::Inline(_))
+        matches!(self.inner, Inner::Inline(_) | Inner::InlineObserved { .. })
     }
 
     /// Number of worker threads backing this stream — `0` on the inline
     /// fast path, the shard count otherwise.
     pub fn worker_threads(&self) -> usize {
         match &self.inner {
-            Inner::Inline(_) => 0,
+            Inner::Inline(_) | Inner::InlineObserved { .. } => 0,
             Inner::Parallel(p) => p.workers.len(),
         }
     }
@@ -200,7 +302,9 @@ impl<'m> ShardedStream<'m> {
     /// counts as one shard until it drains).
     pub fn live_shards(&self) -> usize {
         match &self.inner {
-            Inner::Inline(s) => usize::from(s.live_ues() > 0),
+            Inner::Inline(stream) | Inner::InlineObserved { stream, .. } => {
+                usize::from(stream.live_ues() > 0)
+            }
             Inner::Parallel(p) => p.tree.live(),
         }
     }
@@ -211,23 +315,60 @@ impl Iterator for ShardedStream<'_> {
 
     fn next(&mut self) -> Option<TraceRecord> {
         match &mut self.inner {
-            Inner::Inline(s) => s.next(),
+            Inner::Inline(stream) => stream.next(),
+            Inner::InlineObserved {
+                stream,
+                events,
+                pending,
+            } => match stream.next() {
+                Some(rec) => {
+                    *pending += 1;
+                    if *pending >= BLOCK_RECORDS as u64 {
+                        events.add(std::mem::take(pending));
+                    }
+                    Some(rec)
+                }
+                None => {
+                    events.add(std::mem::take(pending));
+                    None
+                }
+            },
             Inner::Parallel(p) => p.next_record(),
         }
     }
 }
 
+impl Drop for ShardedStream<'_> {
+    fn drop(&mut self) {
+        // Flush the observed inline path's batched event count so an
+        // abandoned stream still reports what it emitted. (The parallel
+        // path's accounting lives in `ParallelStream`.)
+        if let Inner::InlineObserved {
+            events, pending, ..
+        } = &mut self.inner
+        {
+            events.add(std::mem::take(pending));
+        }
+    }
+}
+
 impl ParallelStream {
-    fn spawn(models: Arc<ModelSet>, config: &GenConfig, shards: usize) -> ParallelStream {
+    fn spawn(
+        models: Arc<ModelSet>,
+        config: &GenConfig,
+        shards: usize,
+        registry: &Registry,
+    ) -> ParallelStream {
         let config = *config;
         let mut cursors = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = sync_channel(CHANNEL_BLOCKS);
             let models = Arc::clone(&models);
+            let obs = WorkerObs::register(registry, shard);
             let handle = std::thread::Builder::new()
                 .name(format!("cn-gen-shard-{shard}"))
-                .spawn(move || shard_worker(&models, &config, shard, shards, &tx))
+                .spawn(move || shard_worker(&models, &config, shard, shards, &tx, &obs))
                 .expect("spawn shard worker");
             workers.push(handle);
             cursors.push(ShardCursor {
@@ -242,6 +383,7 @@ impl ParallelStream {
             tree: LoserTree::new(heads),
             run: 0,
             run_len: 0,
+            obs: MergeObs::register(registry),
             workers,
         }
     }
@@ -265,6 +407,10 @@ impl ParallelStream {
             }
         };
         debug_assert!(len >= 1, "the winner's own head precedes the bound");
+        // Telemetry is per *run*, so the merge hot path stays one
+        // comparison per record even when observed.
+        self.obs.events.add(len as u64);
+        self.obs.run_len.record(len as u64);
         self.run = w;
         self.run_len = len;
         true
@@ -323,6 +469,60 @@ fn run_prefix(rest: &[TraceRecord], bound: &TraceRecord, wins_ties: bool) -> usi
     lo + 1 + rest[lo + 1..hi].partition_point(precedes)
 }
 
+/// One worker's telemetry handles (no-ops when unobserved). All three
+/// are updated per *block*, never per record.
+struct WorkerObs {
+    /// `cn_gen_shard_events_total{shard=i}` — records shipped.
+    events: Counter,
+    /// `cn_gen_shard_blocks_total{shard=i}` — blocks shipped.
+    blocks: Counter,
+    /// `cn_gen_shard_stall_ns_total{shard=i}` — nanoseconds blocked on a
+    /// full channel waiting for the consumer.
+    stall_ns: Counter,
+}
+
+impl WorkerObs {
+    fn register(registry: &Registry, shard: usize) -> WorkerObs {
+        let shard = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard)];
+        WorkerObs {
+            events: registry.counter_with("cn_gen_shard_events_total", labels),
+            blocks: registry.counter_with("cn_gen_shard_blocks_total", labels),
+            stall_ns: registry.counter_with("cn_gen_shard_stall_ns_total", labels),
+        }
+    }
+
+    /// Ship one block, accounting for it; false when the consumer hung
+    /// up. Unobserved, this is exactly a blocking `send`; observed, a
+    /// `try_send` first so only an actually-full channel pays for the
+    /// two clock reads that measure the stall.
+    fn ship(&self, tx: &SyncSender<Vec<TraceRecord>>, block: Vec<TraceRecord>) -> bool {
+        let records = block.len() as u64;
+        if !self.stall_ns.is_enabled() {
+            if tx.send(block).is_err() {
+                return false;
+            }
+        } else {
+            match tx.try_send(block) {
+                Ok(()) => {}
+                Err(TrySendError::Full(block)) => {
+                    let stalled = Instant::now();
+                    let sent = tx.send(block).is_ok();
+                    self.stall_ns
+                        .add(u64::try_from(stalled.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    if !sent {
+                        return false;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        self.events.add(records);
+        self.blocks.inc();
+        true
+    }
+}
+
 /// Worker body: merge this shard's UE streams into a sorted run and ship
 /// it as blocks. Returning early on a failed send is the cancellation
 /// path (the consumer hung up).
@@ -332,6 +532,7 @@ fn shard_worker(
     shard: usize,
     shards: usize,
     tx: &SyncSender<Vec<TraceRecord>>,
+    obs: &WorkerObs,
 ) {
     let end = config.end();
     let total = config.population.total();
@@ -359,13 +560,13 @@ fn shard_worker(
         block.push(rec);
         if block.len() == BLOCK_RECORDS {
             let full = std::mem::replace(&mut block, Vec::with_capacity(BLOCK_RECORDS));
-            if tx.send(full).is_err() {
+            if !obs.ship(tx, full) {
                 return;
             }
         }
     }
     if !block.is_empty() {
-        let _ = tx.send(block);
+        obs.ship(tx, block);
     }
 }
 
@@ -490,6 +691,86 @@ mod tests {
         assert_eq!(inline.live_shards(), 1);
         for _ in inline.by_ref() {}
         assert_eq!(inline.live_shards(), 0);
+    }
+
+    #[test]
+    fn observed_parallel_counters_balance_exactly() {
+        let models = fitted();
+        let config = config();
+        let expected = PopulationStream::new(&models, &config).count() as u64;
+        let registry = Registry::new();
+        let n = ShardedStream::with_shards_observed(&models, &config, 4, &registry).count() as u64;
+        assert_eq!(n, expected);
+
+        let snap = registry.snapshot();
+        // The tentpole invariant: per-shard production sums to exactly
+        // what the merge emitted, which is exactly the sequential count.
+        assert_eq!(snap.counter_total("cn_gen_shard_events_total"), Some(n));
+        assert_eq!(snap.counter("cn_gen_merge_events_total"), Some(n));
+        // Every shard shipped at least its final partial block.
+        for shard in ["0", "1", "2", "3"] {
+            let m = snap
+                .get("cn_gen_shard_blocks_total", &[("shard", shard)])
+                .unwrap_or_else(|| panic!("missing blocks counter for shard {shard}"));
+            assert!(matches!(
+                m.value,
+                cn_obs::MetricValue::Counter { value } if value >= 1
+            ));
+        }
+        // The run-length histogram saw every run, and the runs cover the
+        // whole stream.
+        let runs = snap.histogram("cn_gen_merge_run_len").expect("run hist");
+        assert!(runs.count >= 1);
+        assert_eq!(runs.sum, n, "run lengths must cover every record");
+        assert_eq!(snap.gauge("cn_gen_shard_mode_parallel"), Some(1));
+        assert_eq!(snap.gauge("cn_gen_shard_workers"), Some(4));
+    }
+
+    #[test]
+    fn observed_inline_counts_and_flags_mode() {
+        let models = fitted();
+        let config = config();
+        let registry = Registry::new();
+        let n = ShardedStream::with_shards_observed(&models, &config, 1, &registry).count() as u64;
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("cn_gen_merge_events_total"), Some(n));
+        // No workers → no per-shard series at all.
+        assert_eq!(snap.counter_total("cn_gen_shard_events_total"), None);
+        assert_eq!(snap.gauge("cn_gen_shard_mode_parallel"), Some(0));
+        assert_eq!(snap.gauge("cn_gen_shard_workers"), Some(0));
+    }
+
+    #[test]
+    fn observed_inline_flushes_batched_count_on_drop() {
+        // The inline path batches its event count; abandoning the stream
+        // mid-way must still flush what was actually emitted.
+        let models = fitted();
+        let config = config();
+        let registry = Registry::new();
+        let mut stream = ShardedStream::with_shards_observed(&models, &config, 1, &registry);
+        let mut taken = 0u64;
+        for _ in 0..10 {
+            if stream.next().is_none() {
+                break;
+            }
+            taken += 1;
+        }
+        drop(stream);
+        assert_eq!(
+            registry.snapshot().counter("cn_gen_merge_events_total"),
+            Some(taken)
+        );
+    }
+
+    #[test]
+    fn observed_stream_is_byte_identical_to_unobserved() {
+        let models = fitted();
+        let config = config();
+        let plain: Trace = ShardedStream::with_shards(&models, &config, 3).collect();
+        let registry = Registry::new();
+        let observed: Trace =
+            ShardedStream::with_shards_observed(&models, &config, 3, &registry).collect();
+        assert_eq!(observed, plain, "telemetry must never change the stream");
     }
 
     #[test]

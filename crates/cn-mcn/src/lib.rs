@@ -21,6 +21,12 @@
 //! * [`overload`] implements NAS-style congestion control (token-bucket
 //!   admission with per-procedure priorities) so shedding policies can be
 //!   evaluated against realistic signaling storms.
+//!
+//! The simulators expose live telemetry through `cn-obs`:
+//! [`QueueSim::observed`] records depth/latency histograms,
+//! [`overload::apply_observed`] accumulates shed counts by priority, and
+//! [`nf::nf_load_observed`] keeps per-NF transaction counters — all under
+//! the `cn_mcn_*` metric namespace (DESIGN.md §7).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +39,6 @@ pub mod queueing;
 
 pub use messages::{expand, interface_load, procedure, Interface, Message, MessageRecord};
 pub use mme::{Mme, MmeReport};
-pub use nf::{nf_load, NetworkFunction, NfLoad, TransactionMatrix};
-pub use overload::{AdmissionPolicy, Priority, ShedReport};
+pub use nf::{nf_load, nf_load_observed, NetworkFunction, NfLoad, TransactionMatrix};
+pub use overload::{apply_observed, AdmissionPolicy, Priority, ShedReport};
 pub use queueing::{MessageServiceProfile, QueueReport, QueueSim, ServiceProfile};

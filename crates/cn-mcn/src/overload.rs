@@ -7,6 +7,7 @@
 //! a given policy would shed under a trace — one of the design questions
 //! a realistic control-plane generator exists to answer (§3.1).
 
+use cn_obs::Registry;
 use cn_trace::{EventType, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +20,20 @@ pub enum Priority {
     High,
     /// Shed first (mobility housekeeping): `HO`, `TAU`.
     Low,
+}
+
+impl Priority {
+    /// All three classes, highest first (the [`ShedReport`] array order).
+    pub const ALL: [Priority; 3] = [Priority::Critical, Priority::High, Priority::Low];
+
+    /// Lowercase label for metrics (`{priority="critical"}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Critical => "critical",
+            Priority::High => "high",
+            Priority::Low => "low",
+        }
+    }
 }
 
 /// Default 3GPP-style priority assignment.
@@ -124,6 +139,29 @@ pub fn apply(trace: &Trace, policy: &AdmissionPolicy) -> (ShedReport, Trace) {
     (report, Trace::from_records(admitted))
 }
 
+/// As [`apply`], folding the outcome into `registry`: counters
+/// `cn_mcn_overload_admitted_total{priority=...}` and
+/// `cn_mcn_overload_shed_total{priority=...}` accumulate across calls,
+/// so a monitoring pipeline sees shed totals by class over a whole run
+/// of storms, not just the last [`ShedReport`].
+pub fn apply_observed(
+    trace: &Trace,
+    policy: &AdmissionPolicy,
+    registry: &Registry,
+) -> (ShedReport, Trace) {
+    let (report, admitted) = apply(trace, policy);
+    for p in Priority::ALL {
+        let labels: &[(&str, &str)] = &[("priority", p.label())];
+        registry
+            .counter_with("cn_mcn_overload_admitted_total", labels)
+            .add(report.admitted[p as usize]);
+        registry
+            .counter_with("cn_mcn_overload_shed_total", labels)
+            .add(report.shed[p as usize]);
+    }
+    (report, admitted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +223,63 @@ mod tests {
         assert!(high > critical, "high {high} vs critical {critical}");
         // Low-priority housekeeping is shed almost entirely.
         assert!(low > 0.9, "low shed {low}");
+    }
+
+    #[test]
+    fn observed_apply_mirrors_the_report_by_priority() {
+        use cn_obs::Registry;
+        let mut records = Vec::new();
+        for i in 0..300u64 {
+            let e = match i % 3 {
+                0 => EventType::Handover,
+                1 => EventType::ServiceRequest,
+                _ => EventType::Attach,
+            };
+            records.push(rec(i, e));
+        }
+        let trace = Trace::from_records(records);
+        let policy = AdmissionPolicy {
+            rate_per_sec: 50.0,
+            burst: 40.0,
+            high_reserve: 0.3,
+            critical_reserve: 0.1,
+        };
+        let registry = Registry::new();
+        let (report, admitted) = apply_observed(&trace, &policy, &registry);
+        // Observation must not perturb the decision.
+        assert_eq!(report, apply(&trace, &policy).0);
+        let snap = registry.snapshot();
+        for p in Priority::ALL {
+            let labels: &[(&str, &str)] = &[("priority", p.label())];
+            let counter = |name: &str| match snap.get(name, labels).map(|m| &m.value) {
+                Some(cn_obs::MetricValue::Counter { value }) => *value,
+                other => panic!("{name}{{{}}}: {other:?}", p.label()),
+            };
+            assert_eq!(
+                counter("cn_mcn_overload_admitted_total"),
+                report.admitted[p as usize]
+            );
+            assert_eq!(
+                counter("cn_mcn_overload_shed_total"),
+                report.shed[p as usize]
+            );
+        }
+        assert_eq!(
+            snap.counter_total("cn_mcn_overload_admitted_total"),
+            Some(admitted.len() as u64)
+        );
+        assert_eq!(
+            snap.counter_total("cn_mcn_overload_shed_total"),
+            Some(report.total_shed())
+        );
+        // Counters accumulate across storms.
+        apply_observed(&trace, &policy, &registry);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_total("cn_mcn_overload_shed_total"),
+            Some(2 * report.total_shed())
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! says — that is the point of realistic trace generation). Reports
 //! latency percentiles, worker utilization, and backlog.
 
+use cn_obs::{Counter, Histogram, Registry};
 use cn_stats::summary::percentile_sorted;
 use cn_trace::{EventType, Trace};
 use serde::{Deserialize, Serialize};
@@ -61,11 +62,45 @@ pub struct QueueReport {
     pub peak_backlog: usize,
 }
 
+/// Live telemetry of a queueing run (no-op handles unless
+/// [`QueueSim::observed`] wired a registry in). The [`QueueReport`]
+/// already carries exact percentiles of one run; these histograms are
+/// the *cross-run accumulating* view a monitoring pipeline reads.
+#[derive(Debug, Clone, Default)]
+struct QueueObs {
+    /// `cn_mcn_queue_latency_us` — per-event sojourn (wait + service).
+    latency_us: Histogram,
+    /// `cn_mcn_queue_depth` — backlog observed at each arrival instant.
+    depth: Histogram,
+    /// `cn_mcn_queue_served_total`.
+    served: Counter,
+    /// `cn_mcn_queue_msg_latency_us` — message-level twin.
+    msg_latency_us: Histogram,
+    /// `cn_mcn_queue_msg_depth`.
+    msg_depth: Histogram,
+    /// `cn_mcn_queue_msg_served_total`.
+    msg_served: Counter,
+}
+
+impl QueueObs {
+    fn register(registry: &Registry) -> QueueObs {
+        QueueObs {
+            latency_us: registry.histogram("cn_mcn_queue_latency_us"),
+            depth: registry.histogram("cn_mcn_queue_depth"),
+            served: registry.counter("cn_mcn_queue_served_total"),
+            msg_latency_us: registry.histogram("cn_mcn_queue_msg_latency_us"),
+            msg_depth: registry.histogram("cn_mcn_queue_msg_depth"),
+            msg_served: registry.counter("cn_mcn_queue_msg_served_total"),
+        }
+    }
+}
+
 /// The queueing simulator.
 #[derive(Debug, Clone)]
 pub struct QueueSim {
     profile: ServiceProfile,
     workers: usize,
+    obs: QueueObs,
 }
 
 impl QueueSim {
@@ -74,7 +109,18 @@ impl QueueSim {
         QueueSim {
             profile,
             workers: workers.max(1),
+            obs: QueueObs::default(),
         }
+    }
+
+    /// Record depth/latency telemetry into `registry` on every
+    /// subsequent [`QueueSim::run`] / [`QueueSim::run_messages`]:
+    /// histograms `cn_mcn_queue_latency_us` / `cn_mcn_queue_depth` (and
+    /// their `_msg_` twins), counters `cn_mcn_queue_served_total` /
+    /// `cn_mcn_queue_msg_served_total`.
+    pub fn observed(mut self, registry: &Registry) -> QueueSim {
+        self.obs = QueueObs::register(registry);
+        self
     }
 
     /// Run the trace through the queue. Returns `None` for an empty trace.
@@ -101,6 +147,7 @@ impl QueueSim {
                 completions.pop();
             }
             peak_backlog = peak_backlog.max(completions.len());
+            self.obs.depth.record(completions.len() as u64);
 
             let Reverse(worker_free) = free.pop().expect("workers > 0");
             let start_us = worker_free.max(arrival_us);
@@ -109,8 +156,10 @@ impl QueueSim {
             free.push(Reverse(done_us));
             completions.push(Reverse(done_us));
             busy_us += service;
+            self.obs.latency_us.record(done_us - arrival_us);
             latencies_ms.push((done_us - arrival_us) as f64 / 1_000.0);
         }
+        self.obs.served.add(trace.len() as u64);
 
         let horizon_us = free
             .iter()
@@ -183,6 +232,7 @@ impl QueueSim {
                 completions.pop();
             }
             peak_backlog = peak_backlog.max(completions.len());
+            self.obs.msg_depth.record(completions.len() as u64);
 
             let Reverse(worker_free) = free.pop().expect("workers > 0");
             let start_us = worker_free.max(arrival_us);
@@ -195,6 +245,8 @@ impl QueueSim {
             free.push(Reverse(done_us));
             completions.push(Reverse(done_us));
             busy_us += service;
+            self.obs.msg_latency_us.record(done_us - arrival_us);
+            self.obs.msg_served.inc();
             latencies_ms.push((done_us - arrival_us) as f64 / 1_000.0);
         }
         if latencies_ms.is_empty() {
@@ -303,6 +355,65 @@ mod tests {
         assert!(sim
             .run_messages(std::iter::empty(), &MessageServiceProfile::default_epc())
             .is_none());
+    }
+
+    #[test]
+    fn observed_run_fills_the_registry() {
+        use cn_obs::Registry;
+        let registry = Registry::new();
+        let trace = Trace::from_records((0..50).map(|_| rec(0, EventType::Tau)).collect());
+        let sim = QueueSim::new(ServiceProfile::uniform(10_000.0), 1).observed(&registry);
+        let report = sim.run(&trace).unwrap();
+        let snap = registry.snapshot();
+        // Counter matches the report; histogram saw every sojourn.
+        assert_eq!(
+            snap.counter("cn_mcn_queue_served_total"),
+            Some(report.served)
+        );
+        let latency = snap.histogram("cn_mcn_queue_latency_us").unwrap();
+        assert_eq!(latency.count, report.served);
+        // The log2 bound brackets the exact max from the report.
+        let bound_us = latency.quantile_upper_bound(1.0).unwrap();
+        assert!(bound_us as f64 / 1_000.0 >= report.max_latency_ms);
+        // Depth histogram observed the same arrivals, peaking at the
+        // report's backlog.
+        let depth = snap.histogram("cn_mcn_queue_depth").unwrap();
+        assert_eq!(depth.count, report.served);
+        assert!(depth.quantile_upper_bound(1.0).unwrap() >= report.peak_backlog as u64);
+        // A second run accumulates instead of resetting.
+        sim.run(&trace).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("cn_mcn_queue_served_total"),
+            Some(2 * report.served)
+        );
+        // Message-level metrics stay empty until run_messages is used.
+        assert_eq!(snap.counter("cn_mcn_queue_msg_served_total"), Some(0));
+    }
+
+    #[test]
+    fn observed_message_run_uses_the_msg_series() {
+        use crate::messages;
+        use cn_obs::Registry;
+        let registry = Registry::new();
+        let trace = Trace::from_records(vec![rec(0, EventType::Attach)]);
+        let sim = QueueSim::new(ServiceProfile::default_mme(), 2).observed(&registry);
+        let report = sim
+            .run_messages(
+                messages::expand(&trace),
+                &MessageServiceProfile::default_epc(),
+            )
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("cn_mcn_queue_msg_served_total"),
+            Some(report.served)
+        );
+        assert_eq!(
+            snap.histogram("cn_mcn_queue_msg_latency_us").unwrap().count,
+            report.served
+        );
+        assert_eq!(snap.counter("cn_mcn_queue_served_total"), Some(0));
     }
 
     #[test]

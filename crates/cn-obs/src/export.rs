@@ -1,0 +1,311 @@
+//! Snapshot types and the two exporters.
+//!
+//! [`ObsSnapshot`] is the frozen form of a registry: what the
+//! `--metrics <path>` flags write (JSON, via the vendored serde shim),
+//! what tests and CI gates assert against, and the input to the
+//! Prometheus text renderer. Lookup helpers return `Option` so a gate
+//! can distinguish "metric absent" from "metric zero".
+
+use crate::metric::{bucket_upper_bound, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+
+/// One frozen metric value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A monotone counter.
+    Counter {
+        /// Current count.
+        value: u64,
+    },
+    /// A level gauge.
+    Gauge {
+        /// Current level.
+        value: u64,
+    },
+    /// A log₂ histogram.
+    Histogram {
+        /// The frozen buckets.
+        histogram: HistogramSnapshot,
+    },
+}
+
+/// One frozen metric: identity plus value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Metric name (`cn_<crate>_<subsystem>_<name>`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl MetricSnapshot {
+    /// `name{k="v",...}` — the Prometheus identity of this metric.
+    fn identity(&self) -> String {
+        format!("{}{}", self.name, render_labels(&self.labels, &[]))
+    }
+}
+
+/// A full registry snapshot: every metric, in `(name, labels)` order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// The frozen metrics.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl ObsSnapshot {
+    /// Find a metric by exact name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+    }
+
+    /// Value of the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name, &[])?.value {
+            MetricValue::Counter { value } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Sum of every counter named `name` across all label sets —
+    /// e.g. total events over all `{shard="i"}` series. `None` when no
+    /// such counter exists (a sum of zero counters is not "0 events").
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        let mut found = false;
+        let mut total = 0u64;
+        for m in &self.metrics {
+            if m.name == name {
+                if let MetricValue::Counter { value } = m.value {
+                    found = true;
+                    total = total.saturating_add(value);
+                }
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Value of the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name, &[])?.value {
+            MetricValue::Gauge { value } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match &self.get(name, &[])?.value {
+            MetricValue::Histogram { histogram } => Some(histogram),
+            _ => None,
+        }
+    }
+
+    /// Serialize to the JSON form the `--metrics` flags write.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes") + "\n"
+    }
+
+    /// Parse a snapshot back from [`ObsSnapshot::to_json`] output.
+    pub fn from_json(json: &str) -> Result<ObsSnapshot, String> {
+        serde_json::from_str(json).map_err(|e| format!("invalid ObsSnapshot JSON: {e}"))
+    }
+
+    /// Prometheus text exposition format (one `# TYPE` line per family;
+    /// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`; empty buckets elided).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for m in &self.metrics {
+            let family_kind = match m.value {
+                MetricValue::Counter { .. } => "counter",
+                MetricValue::Gauge { .. } => "gauge",
+                MetricValue::Histogram { .. } => "histogram",
+            };
+            if last_family != Some(m.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {}\n", m.name, family_kind));
+                last_family = Some(m.name.as_str());
+            }
+            match &m.value {
+                MetricValue::Counter { value } | MetricValue::Gauge { value } => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, &[]),
+                        value
+                    ));
+                }
+                MetricValue::Histogram { histogram } => {
+                    // Finite buckets where the cumulative count moves; the
+                    // last bucket is covered by the mandatory +Inf line.
+                    let mut cumulative = 0u64;
+                    for (i, &n) in histogram.buckets.iter().take(64).enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative = cumulative.saturating_add(n);
+                        let le = bucket_upper_bound(i).to_string();
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            m.name,
+                            render_labels(&m.labels, &[("le", &le)]),
+                            cumulative
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, &[("le", "+Inf")]),
+                        histogram.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, &[]),
+                        histogram.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        render_labels(&m.labels, &[]),
+                        histogram.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// A compact human-readable rendering, one line per metric — what
+    /// `examples/streaming_export.rs` prints periodically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            match &m.value {
+                MetricValue::Counter { value } | MetricValue::Gauge { value } => {
+                    out.push_str(&format!("{} = {}\n", m.identity(), value));
+                }
+                MetricValue::Histogram { histogram } => {
+                    if histogram.is_empty() {
+                        out.push_str(&format!("{}: empty\n", m.identity()));
+                    } else {
+                        out.push_str(&format!(
+                            "{}: count={} mean={:.1} p50<={} p99<={}\n",
+                            m.identity(),
+                            histogram.count,
+                            histogram.mean().unwrap_or(0.0),
+                            histogram.quantile_upper_bound(0.50).unwrap_or(0),
+                            histogram.quantile_upper_bound(0.99).unwrap_or(0),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{base,extra...}` label rendering with Prometheus escaping; empty
+/// label sets render as nothing.
+fn render_labels(base: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if base.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let escape = |v: &str| {
+        v.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let rendered: Vec<String> = base
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .chain(extra.iter().map(|(k, v)| format!("{k}=\"{}\"", escape(v))))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    fn sample() -> crate::ObsSnapshot {
+        let r = Registry::new();
+        r.counter_with("cn_gen_shard_events_total", &[("shard", "0")])
+            .add(10);
+        r.counter_with("cn_gen_shard_events_total", &[("shard", "1")])
+            .add(32);
+        r.gauge("cn_gen_shard_workers").set(2);
+        let h = r.histogram("cn_gen_merge_run_len");
+        for v in [1u64, 1, 2, 8, 1000] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = crate::ObsSnapshot::from_json(&json).expect("parse back");
+        assert_eq!(back, snap);
+        assert!(crate::ObsSnapshot::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn lookup_helpers_distinguish_absent_from_zero() {
+        let snap = sample();
+        assert_eq!(snap.counter_total("cn_gen_shard_events_total"), Some(42));
+        assert_eq!(snap.counter_total("cn_gen_missing_total"), None);
+        assert_eq!(snap.gauge("cn_gen_shard_workers"), Some(2));
+        assert_eq!(snap.gauge("cn_gen_shard_events_total"), None, "wrong kind");
+        assert_eq!(
+            snap.get("cn_gen_shard_events_total", &[("shard", "1")])
+                .map(|m| m.name.as_str()),
+            Some("cn_gen_shard_events_total")
+        );
+        assert_eq!(snap.histogram("cn_gen_merge_run_len").unwrap().count, 5);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_families_series_and_cumulative_buckets() {
+        let text = sample().prometheus();
+        assert!(text.contains("# TYPE cn_gen_shard_events_total counter"));
+        // One TYPE line per family even with two series.
+        assert_eq!(text.matches("# TYPE cn_gen_shard_events_total").count(), 1);
+        assert!(text.contains("cn_gen_shard_events_total{shard=\"0\"} 10"));
+        assert!(text.contains("cn_gen_shard_events_total{shard=\"1\"} 32"));
+        assert!(text.contains("# TYPE cn_gen_shard_workers gauge"));
+        assert!(text.contains("cn_gen_shard_workers 2"));
+        assert!(text.contains("# TYPE cn_gen_merge_run_len histogram"));
+        // Cumulative: le="1" sees both 1s, +Inf sees everything.
+        assert!(text.contains("cn_gen_merge_run_len_bucket{le=\"1\"} 2"));
+        assert!(text.contains("cn_gen_merge_run_len_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("cn_gen_merge_run_len_sum 1012"));
+        assert!(text.contains("cn_gen_merge_run_len_count 5"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("cn_test_total", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = r.snapshot().prometheus();
+        assert!(text.contains(r#"path="a\"b\\c\nd""#), "{text}");
+    }
+
+    #[test]
+    fn render_is_one_line_per_metric() {
+        let snap = sample();
+        let text = snap.render();
+        assert_eq!(text.lines().count(), snap.metrics.len());
+        assert!(text.contains("cn_gen_merge_run_len: count=5"));
+    }
+}

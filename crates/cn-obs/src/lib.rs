@@ -1,0 +1,62 @@
+//! Zero-dependency metrics and span tracing for the traffic pipelines.
+//!
+//! The paper's stated downstream use for generated control-plane traffic
+//! is driving and *monitoring* a mobile core (§3.1: evaluating MCN
+//! designs, sizing deployments, tuning monitoring) — this crate gives our
+//! own pipelines the same telemetry. It is std-only (the build container
+//! has no registry access; serialization goes through the vendored
+//! `serde`/`serde_json` shims) and is wired through three hot paths:
+//!
+//! * `cn-gen::shard` — per-shard events/blocks/stall counters, the merge
+//!   run-length histogram, and the inline-vs-parallel mode gauge;
+//! * `cn-mcn` — queueing depth/latency histograms, overload shed counts
+//!   by priority, per-NF transaction counters;
+//! * the `gen_bench` / `verify_model` binaries — `--metrics <path>`
+//!   dumps an [`ObsSnapshot`] next to their normal output.
+//!
+//! ### Model
+//!
+//! A [`Registry`] owns named metrics; handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) are cheap `Arc` clones that hot paths keep and update
+//! with relaxed atomics — `record()` never allocates and never takes a
+//! lock. A **disabled** registry ([`Registry::disabled`]) hands out
+//! no-op handles whose updates compile to a predictable branch, so
+//! instrumented code costs nothing when observability is off.
+//!
+//! Histograms use fixed log₂ buckets (65 of them, covering the full
+//! `u64` range — `u64::MAX` lands in the last bucket, it does not wrap),
+//! so they are allocation-free to record and cheap to merge across shard
+//! workers: [`HistogramSnapshot::merge`] is associative, commutative, and
+//! count-preserving (property-tested in `tests/properties.rs`).
+//!
+//! [`Span`] / [`span!`] time coarse stages into `<name>` histograms
+//! (nanoseconds) on scope exit.
+//!
+//! ### Naming
+//!
+//! Metrics follow `cn_<crate>_<subsystem>_<name>` with Prometheus
+//! conventions (`_total` for counters, unit suffixes like `_ns`/`_us`
+//! where applicable); dimensions such as the shard index or priority
+//! class are labels, not name fragments. See DESIGN.md §7.
+//!
+//! ### Export
+//!
+//! [`Registry::snapshot`] freezes every metric into an [`ObsSnapshot`]
+//! (serializable, with lookup helpers for gates and tests);
+//! [`ObsSnapshot::prometheus`] renders text exposition format and
+//! [`ObsSnapshot::to_json`] the JSON form the `--metrics` flags write.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metric;
+pub mod registry;
+pub mod span;
+
+pub use export::{MetricSnapshot, MetricValue, ObsSnapshot};
+pub use metric::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use registry::Registry;
+pub use span::Span;

@@ -21,6 +21,7 @@ use std::path::{Path, PathBuf};
 
 use cn_fit::ModelSet;
 use cn_gen::{generate, GenConfig, PopulationStream, ShardedStream};
+use cn_obs::Registry;
 use cn_trace::{PopulationMix, Timestamp, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +106,29 @@ pub fn standard_config() -> GenConfig {
 /// Produce the same trace with every engine/thread/shard combination and
 /// hash each result.
 pub fn run_golden(models: &ModelSet, config: &GenConfig) -> GoldenReport {
+    run_golden_observed(models, config, &Registry::disabled())
+}
+
+/// As [`run_golden`], with the sharded cases generated through a live
+/// `cn-obs` registry ([`ShardedStream::with_shards_observed`]).
+///
+/// Two things fall out of observing the golden run:
+///
+/// * the byte-identity gate now also proves instrumentation is inert —
+///   an observed sharded trace hashing differently from the unobserved
+///   engines would fail `consistent` immediately;
+/// * when a golden gate *fails*, the registry holds the per-shard event
+///   ledger of the exact run that diverged (`verify_model --metrics`
+///   writes it out), so debugging starts from data, not a re-run.
+///
+/// Counters accumulate across cases: each sharded case adds its events to
+/// `cn_gen_merge_events_total`, and only parallel cases (shards > 1)
+/// populate the per-shard `cn_gen_shard_events_total` series.
+pub fn run_golden_observed(
+    models: &ModelSet,
+    config: &GenConfig,
+    registry: &Registry,
+) -> GoldenReport {
     let mut cases = Vec::new();
     for threads in [1usize, 4] {
         let mut c = *config;
@@ -129,8 +153,9 @@ pub fn run_golden(models: &ModelSet, config: &GenConfig) -> GoldenReport {
         });
     }
     for shards in [1usize, 8] {
-        let trace =
-            Trace::from_records(ShardedStream::with_shards(models, config, shards).collect());
+        let trace = Trace::from_records(
+            ShardedStream::with_shards_observed(models, config, shards, registry).collect(),
+        );
         cases.push(GoldenCase {
             engine: "sharded".into(),
             threads: 0,

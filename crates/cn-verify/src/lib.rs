@@ -27,7 +27,9 @@ pub mod model;
 pub mod roundtrip;
 pub mod verdict;
 
-pub use golden::{check_pinned, fnv1a64, run_golden, trace_hash, GoldenCase, GoldenReport};
+pub use golden::{
+    check_pinned, fnv1a64, run_golden, run_golden_observed, trace_hash, GoldenCase, GoldenReport,
+};
 pub use model::GroundTruth;
 pub use roundtrip::{run_round_trip, RoundTripConfig, RoundTripReport, TransitionCheck};
 pub use verdict::{Verdict, VerdictReport};

@@ -4,7 +4,9 @@
 //! workspace root's `tests/round_trip.rs`; here the same machinery runs at
 //! a size suited to the inner development loop.
 
-use cn_verify::{check_pinned, run_golden, run_round_trip, GroundTruth, RoundTripConfig};
+use cn_verify::{
+    check_pinned, run_golden, run_golden_observed, run_round_trip, GroundTruth, RoundTripConfig,
+};
 
 #[test]
 fn quick_round_trip_recovers_the_model() {
@@ -47,6 +49,26 @@ fn golden_hashes_agree_across_engines_and_match_the_pin() {
     assert!(report.consistent, "{}", report.render());
     let hash = report.hash().expect("consistent");
     check_pinned("standard-v1", hash).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn observed_golden_run_is_identical_and_keeps_a_balanced_ledger() {
+    let gt = GroundTruth::standard(11);
+    let config = cn_verify::golden::standard_config();
+    let registry = cn_obs::Registry::new();
+    let observed = run_golden_observed(&gt.set, &config, &registry);
+    // Instrumentation must be inert: the observed run reproduces the
+    // unobserved hashes byte for byte.
+    assert_eq!(observed, run_golden(&gt.set, &config));
+    let events = observed.cases[0].events as u64;
+    let snap = registry.snapshot();
+    // Two sharded cases (shards 1 and 8) drained through the merge; only
+    // the 8-shard case runs parallel workers with per-shard counters.
+    assert_eq!(snap.counter("cn_gen_merge_events_total"), Some(2 * events));
+    assert_eq!(
+        snap.counter_total("cn_gen_shard_events_total"),
+        Some(events)
+    );
 }
 
 #[test]

@@ -1,4 +1,5 @@
-//! Bounded-memory trace export at scale, on every core.
+//! Bounded-memory trace export at scale, on every core — with live
+//! telemetry instead of ad-hoc printf counters.
 //!
 //! A week of a large population is hundreds of millions of events — too
 //! big to materialize. `ShardedStream` partitions the population into
@@ -6,17 +7,42 @@
 //! worker thread, and hands the consumer a globally time-ordered stream
 //! (byte-identical to the sequential `PopulationStream` and to the batch
 //! engine) through bounded block channels — so a slow disk writer
-//! backpressures the generators instead of buffering the trace. This
-//! example exports a multi-hour trace to CSV-on-disk with live
-//! throughput reporting, then reads it back and prints its summary.
+//! backpressures the generators instead of buffering the trace.
+//!
+//! This example exports a multi-hour trace to CSV-on-disk while a
+//! `cn-obs` [`Registry`] watches both sides of the pipe: the stream's own
+//! `cn_gen_*` instrumentation (per-shard production, merge totals,
+//! backpressure stall time) plus an example-level written-events counter
+//! and export span. Progress is reported from periodic registry
+//! snapshots, and the full Prometheus exposition is printed at the end —
+//! the same text a scrape endpoint would serve.
 //!
 //! Run with: `cargo run --release --example streaming_export`
 
 use cellular_cp_traffgen::gen::ShardedStream;
+use cellular_cp_traffgen::obs::{Registry, Span};
 use cellular_cp_traffgen::prelude::*;
 use cellular_cp_traffgen::trace::TraceSummary;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
+
+/// Print one progress line from a registry snapshot: everything in it —
+/// shard liveness, merge totals, backpressure — comes from the metrics
+/// layer, not from hand-maintained loop variables.
+fn report(registry: &Registry, started: Instant) {
+    let snap = registry.snapshot();
+    let written = snap.counter("cn_example_export_written_total").unwrap_or(0);
+    let stalled_ms = snap
+        .counter_total("cn_gen_shard_stall_ns_total")
+        .unwrap_or(0)
+        / 1_000_000;
+    let rate = written as f64 / started.elapsed().as_secs_f64();
+    eprintln!(
+        "  ... {written} events written ({rate:.0} events/s), \
+         {} shard workers, {stalled_ms} ms total backpressure stall",
+        snap.gauge("cn_gen_shard_workers").unwrap_or(0),
+    );
+}
 
 fn main() -> std::io::Result<()> {
     // Fit once at modest scale.
@@ -31,11 +57,13 @@ fn main() -> std::io::Result<()> {
     let mut out = BufWriter::new(std::fs::File::create(&path)?);
     writeln!(out, "t_ms,ue,device,event")?;
 
-    let mut stream = ShardedStream::new(&models, &config);
+    let registry = Registry::new();
+    let written = registry.counter("cn_example_export_written_total");
+    let span = Span::start(&registry, "cn_example_export_ns");
+    let mut stream = ShardedStream::new_observed(&models, &config, &registry);
     let started = Instant::now();
-    let mut written = 0u64;
-    let mut last_report = 0u64;
-    while let Some(rec) = stream.next() {
+    let mut next_report = 50_000;
+    for rec in stream.by_ref() {
         writeln!(
             out,
             "{},{},{},{}",
@@ -44,30 +72,39 @@ fn main() -> std::io::Result<()> {
             rec.device.abbrev(),
             rec.event.mnemonic()
         )?;
-        written += 1;
-        if written - last_report >= 50_000 {
-            let rate = written as f64 / started.elapsed().as_secs_f64();
-            eprintln!(
-                "  ... {written} events streamed ({rate:.0} events/s), {} shards live",
-                stream.live_shards()
-            );
-            last_report = written;
+        written.inc();
+        if written.get() >= next_report {
+            report(&registry, started);
+            next_report += 50_000;
         }
     }
     out.flush()?;
-    let rate = written as f64 / started.elapsed().as_secs_f64();
+    drop(stream);
+    span.finish();
+    let total = written.get();
+    let rate = total as f64 / started.elapsed().as_secs_f64();
     println!(
-        "streamed {written} events for {} UEs to {} ({rate:.0} events/s end to end)",
+        "streamed {total} events for {} UEs to {} ({rate:.0} events/s end to end)",
         config.population.total(),
         path.display()
+    );
+
+    // The final snapshot is the pipeline's flight recorder. The merge
+    // counter must agree exactly with what reached the file — the same
+    // ledger invariant `gen_bench --metrics` gates on.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("cn_gen_merge_events_total"), Some(total));
+    println!(
+        "\n# final metrics (Prometheus exposition)\n{}",
+        snap.prometheus()
     );
 
     // Read back and summarize — the interchange formats round-trip.
     let data = std::fs::read(&path)?;
     let trace =
         cellular_cp_traffgen::trace::io::read_csv(&data[..]).expect("re-read what we just wrote");
-    println!("\n{}", TraceSummary::of(&trace));
-    assert_eq!(trace.len() as u64, written);
+    println!("{}", TraceSummary::of(&trace));
+    assert_eq!(trace.len() as u64, total);
     std::fs::remove_file(&path)?;
     Ok(())
 }

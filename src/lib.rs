@@ -24,6 +24,9 @@
 //!   figure.
 //! * [`mcn`] — a miniature MME-style core-network consumer (per-UE state
 //!   tables + queueing model), the paper's motivating use case.
+//! * [`obs`] — the zero-dependency metrics/tracing layer every pipeline
+//!   stage reports through (counters, gauges, log2 histograms, spans,
+//!   Prometheus/JSON export).
 //!
 //! ## Quickstart
 //!
@@ -62,6 +65,7 @@ pub use cn_fit as fit_crate;
 pub use cn_fivegee as fiveg;
 pub use cn_gen as gen;
 pub use cn_mcn as mcn;
+pub use cn_obs as obs;
 pub use cn_statemachine as statemachine;
 pub use cn_stats as stats;
 pub use cn_trace as trace;
