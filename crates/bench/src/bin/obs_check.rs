@@ -14,9 +14,15 @@
 //! * `BENCH_gen.json` parses and carries a fixed `events` count and an
 //!   `instrumented` point (the snapshot is meaningless without the run
 //!   that produced it);
-//! * the snapshot's event ledger balances against that count: the summed
+//! * the snapshot's event ledger is **accounted for**: either the summed
 //!   per-shard `cn_gen_shard_events_total` and the consumer-side
-//!   `cn_gen_merge_events_total` both equal `events` exactly.
+//!   `cn_gen_merge_events_total` both equal `events` exactly, *or* the
+//!   snapshot records the worker failure that explains the imbalance
+//!   (`cn_gen_worker_exit{outcome="panicked"|"cancelled"}`). An imbalance
+//!   with **no** recorded failure — a silently truncated run — is the one
+//!   state that must never pass; so is a balanced ledger claiming worker
+//!   failures (contradictory evidence). See
+//!   [`bench::check_snapshot_accounted`].
 //!
 //! `gen_bench` already enforces the ledger in-process; this binary proves
 //! the property survives the trip through the filesystem and the JSON
@@ -24,7 +30,7 @@
 //! trustworthy evidence when a later gate failure sends someone back to
 //! read it.
 
-use bench::check_snapshot_events;
+use bench::{check_snapshot_accounted, LedgerVerdict};
 use cn_obs::ObsSnapshot;
 use serde_json::JsonValue;
 
@@ -77,15 +83,22 @@ fn main() {
             .unwrap_or_else(|| fail(&format!("{bench_path}: instrumented point has no shards"))),
     };
 
-    if let Err(e) = check_snapshot_events(&snapshot, events) {
-        fail(&format!(
-            "{obs_path} does not balance against {bench_path}: {e}"
-        ));
+    match check_snapshot_accounted(&snapshot, events) {
+        Ok(LedgerVerdict::Balanced) => println!(
+            "obs_check ok: {obs_path} parses ({} metrics), shard + merge counters both equal \
+             the workload's {events} events (instrumented at {instrumented_shards} shards)",
+            snapshot.metrics.len()
+        ),
+        Ok(LedgerVerdict::FailureContained {
+            panicked,
+            cancelled,
+        }) => println!(
+            "obs_check ok (failure contained): {obs_path} does not balance against the \
+             workload's {events} events, but records why — {panicked} panicked / {cancelled} \
+             cancelled worker exits. The run failed loudly; the ledger is honest."
+        ),
+        Err(e) => fail(&format!(
+            "{obs_path} is not accounted for against {bench_path}: {e}"
+        )),
     }
-
-    println!(
-        "obs_check ok: {obs_path} parses ({} metrics), shard + merge counters both equal \
-         the workload's {events} events (instrumented at {instrumented_shards} shards)",
-        snapshot.metrics.len()
-    );
 }

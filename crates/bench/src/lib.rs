@@ -23,7 +23,7 @@
 
 use cn_fit::ModelSet;
 use cn_gen::{GenConfig, PopulationStream, ShardedStream};
-use cn_obs::{ObsSnapshot, Registry};
+use cn_obs::{MetricValue, ObsSnapshot, Registry};
 use std::time::Instant;
 
 /// One measured generation run.
@@ -194,6 +194,73 @@ pub fn check_snapshot_events(snapshot: &ObsSnapshot, events: u64) -> Result<(), 
         ));
     }
     Ok(())
+}
+
+/// `cn_gen_worker_exit` exits recorded with `outcome` (`None` when the
+/// series is absent — e.g. an inline run that spawned no workers).
+pub fn worker_exits(snapshot: &ObsSnapshot, outcome: &str) -> Option<u64> {
+    snapshot
+        .get("cn_gen_worker_exit", &[("outcome", outcome)])
+        .map(|m| match m.value {
+            MetricValue::Counter { value } => value,
+            _ => 0,
+        })
+}
+
+/// How a snapshot's event ledger was accounted for (see
+/// [`check_snapshot_accounted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerVerdict {
+    /// Clean run: shard and merge counters both equal the workload and no
+    /// worker failure was recorded.
+    Balanced,
+    /// The ledger does not balance, but the snapshot records the worker
+    /// failure(s) that explain it — contained, not silent.
+    FailureContained {
+        /// `cn_gen_worker_exit{outcome="panicked"}`.
+        panicked: u64,
+        /// `cn_gen_worker_exit{outcome="cancelled"}`.
+        cancelled: u64,
+    },
+}
+
+/// The failure-aware ledger gate: **every imbalance must be explained**.
+///
+/// Extends [`check_snapshot_events`] with the worker-exit telemetry the
+/// sharded pipeline records on shutdown. The acceptable states are:
+///
+/// * the ledger balances and no failure was recorded → [`LedgerVerdict::Balanced`];
+/// * the ledger does *not* balance but the snapshot says why — panicked or
+///   cancelled worker exits → [`LedgerVerdict::FailureContained`].
+///
+/// Everything else is an error: an imbalance with no recorded failure is
+/// exactly the silent truncation this pipeline promises not to produce,
+/// and a balanced ledger alongside recorded failures is contradictory
+/// evidence (a failed worker cannot have delivered its full shard).
+pub fn check_snapshot_accounted(
+    snapshot: &ObsSnapshot,
+    events: u64,
+) -> Result<LedgerVerdict, String> {
+    let panicked = worker_exits(snapshot, "panicked").unwrap_or(0);
+    let cancelled = worker_exits(snapshot, "cancelled").unwrap_or(0);
+    match (
+        check_snapshot_events(snapshot, events),
+        panicked + cancelled,
+    ) {
+        (Ok(()), 0) => Ok(LedgerVerdict::Balanced),
+        (Ok(()), _) => Err(format!(
+            "ledger balances at {events} events yet {panicked} panicked / {cancelled} \
+             cancelled worker exits were recorded — contradictory evidence"
+        )),
+        (Err(_), n) if n > 0 => Ok(LedgerVerdict::FailureContained {
+            panicked,
+            cancelled,
+        }),
+        (Err(e), _) => Err(format!(
+            "{e} — and no worker failure was recorded that would explain the \
+             imbalance (silent truncation)"
+        )),
+    }
 }
 
 fn point_fields(p: &ShardPoint) -> String {
@@ -433,6 +500,53 @@ mod tests {
         let inline = Registry::new();
         inline.counter("cn_gen_merge_events_total").add(10);
         assert!(check_snapshot_events(&inline.snapshot(), 10).is_err());
+    }
+
+    #[test]
+    fn accounted_gate_demands_explained_imbalances() {
+        // A clean, balanced run.
+        let clean = Registry::new();
+        clean
+            .counter_with("cn_gen_shard_events_total", &[("shard", "0")])
+            .add(10);
+        clean.counter("cn_gen_merge_events_total").add(10);
+        clean
+            .counter_with("cn_gen_worker_exit", &[("outcome", "completed")])
+            .add(1);
+        assert_eq!(
+            check_snapshot_accounted(&clean.snapshot(), 10),
+            Ok(LedgerVerdict::Balanced)
+        );
+        // A failed run: short ledger, but the failure is on the record.
+        let failed = Registry::new();
+        failed
+            .counter_with("cn_gen_shard_events_total", &[("shard", "0")])
+            .add(4);
+        failed.counter("cn_gen_merge_events_total").add(4);
+        failed
+            .counter_with("cn_gen_worker_exit", &[("outcome", "panicked")])
+            .add(1);
+        assert_eq!(
+            check_snapshot_accounted(&failed.snapshot(), 10),
+            Ok(LedgerVerdict::FailureContained {
+                panicked: 1,
+                cancelled: 0
+            })
+        );
+        // The forbidden state: short ledger, nothing recorded to explain it.
+        let silent = Registry::new();
+        silent
+            .counter_with("cn_gen_shard_events_total", &[("shard", "0")])
+            .add(4);
+        silent.counter("cn_gen_merge_events_total").add(4);
+        let err = check_snapshot_accounted(&silent.snapshot(), 10).unwrap_err();
+        assert!(err.contains("silent truncation"), "{err}");
+        // Contradictory evidence: balanced ledger yet a recorded failure.
+        clean
+            .counter_with("cn_gen_worker_exit", &[("outcome", "cancelled")])
+            .add(1);
+        let err = check_snapshot_accounted(&clean.snapshot(), 10).unwrap_err();
+        assert!(err.contains("contradictory"), "{err}");
     }
 
     #[test]

@@ -37,16 +37,25 @@
 //!   [`PopulationStream`].
 //!
 //! All "0 = all cores" knobs resolve through [`effective_parallelism`].
+//!
+//! The sharded pipeline is **failure-contained**: a panicked worker
+//! surfaces as a typed [`StreamError`] through the fallible
+//! [`ShardedStream::try_next`] / [`ShardedStream::finish`] API — never as
+//! a silently truncated trace (see `shard` module docs, *Failure
+//! semantics*, and the deterministic [`fault`] injection harness the
+//! tier-1 suite drives it with).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod per_ue;
 pub mod shard;
 pub mod stream;
 
 pub use engine::{effective_parallelism, generate, GenConfig, HourSemantics};
+pub use fault::FaultPlan;
 pub use per_ue::{generate_ue, UeEventIter};
-pub use shard::ShardedStream;
+pub use shard::{ShardedStream, StreamError, StreamStats, WorkerOutcome};
 pub use stream::PopulationStream;

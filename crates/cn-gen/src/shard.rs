@@ -60,28 +60,62 @@
 //! next, and that channel's producer never waits on anything but the same
 //! channel's free space.
 //!
+//! ### Failure semantics
+//!
+//! A trace that ends early is indistinguishable from a complete one by
+//! looking at the records alone — so a worker failure must never be able
+//! to masquerade as clean exhaustion. Every worker runs its loop under
+//! [`std::panic::catch_unwind`] and publishes a terminal
+//! [`WorkerOutcome`] through a per-shard control slot *before* its data
+//! channel disconnects:
+//!
+//! * [`WorkerOutcome::Completed`] — the shard generated and shipped every
+//!   one of its records;
+//! * [`WorkerOutcome::Panicked`] — the worker's loop panicked; the
+//!   payload is preserved;
+//! * [`WorkerOutcome::Cancelled`] — the worker's send failed because the
+//!   consumer hung up (an abandoned stream), the deliberate wind-down.
+//!
+//! The consumer reads the slot whenever a channel disconnects, so a
+//! panicked shard surfaces as a typed [`StreamError::WorkerPanicked`]
+//! instead of being merged out as "exhausted". The fallible surface is
+//! [`ShardedStream::try_next`] plus [`ShardedStream::finish`] (which
+//! joins the workers and refuses to report success if any of them
+//! panicked). The plain [`Iterator`] impl cannot return errors, so it
+//! **fuses and poisons**: after a failure it yields `None` forever, the
+//! error stays readable via [`ShardedStream::error`], and dropping the
+//! stream records every worker's exit — `cn_gen_worker_exit{outcome=…}`
+//! and `cn_gen_shard_panics_total{shard=…}` when a registry is attached —
+//! rather than swallowing the join results. Faults are injected
+//! deterministically in tests via [`crate::fault::FaultPlan`] and
+//! [`ShardedStream::with_shards_faulted`]; the production constructors
+//! monomorphize the fault hook to [`NoFault`], which compiles to nothing.
+//!
 //! ### Observability
 //!
 //! The `*_observed` constructors take a [`cn_obs::Registry`] and light up
 //! the pipeline's telemetry — per-shard ship counters and channel-full
-//! stall time, the merge run-length histogram, and mode gauges (see
-//! [`ShardedStream::with_shards_observed`] for the full metric list).
-//! Once a stream is fully drained, the summed
+//! stall time, the merge run-length histogram, worker exit outcomes, and
+//! mode gauges (see [`ShardedStream::with_shards_observed`] for the full
+//! metric list). Once a stream is fully drained, the summed
 //! `cn_gen_shard_events_total{shard=i}` counters equal
 //! `cn_gen_merge_events_total` — the invariant `gen_bench --metrics`
-//! re-checks on every CI run. All counting is per block or per run, so
-//! the per-record hot paths are untouched; with a disabled registry the
-//! handles are no-ops and the unobserved constructors delegate here with
-//! exactly that.
+//! re-checks on every CI run; when a run fails instead, the
+//! `cn_gen_worker_exit` ledger says which workers ended how. All counting
+//! is per block or per run, so the per-record hot paths are untouched;
+//! with a disabled registry the handles are no-ops and the unobserved
+//! constructors delegate here with exactly that.
 
 use crate::engine::{effective_parallelism, ue_stream_seed, GenConfig};
+use crate::fault::{FaultHook, FaultPlan, NoFault};
 use crate::per_ue::UeEventIter;
 use crate::stream::PopulationStream;
 use cn_fit::ModelSet;
 use cn_obs::{Counter, Histogram, Registry};
 use cn_trace::{LoserTree, TraceRecord, UeId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -93,32 +127,129 @@ pub const BLOCK_RECORDS: usize = 4096;
 /// Blocks buffered per shard channel before its worker blocks.
 pub const CHANNEL_BLOCKS: usize = 4;
 
+/// How a shard worker's run ended, published through its control slot
+/// before the data channel disconnects (see module docs, *Failure
+/// semantics*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// The worker generated and shipped all `events` of its records.
+    Completed {
+        /// Records this shard shipped to the consumer.
+        events: u64,
+    },
+    /// The worker's generation loop panicked; `payload` is the panic
+    /// message (or a placeholder for non-string payloads).
+    Panicked {
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// The worker stopped because the consumer hung up (the stream was
+    /// dropped or finished early) — the deliberate wind-down, not a
+    /// failure.
+    Cancelled,
+}
+
+impl WorkerOutcome {
+    /// The `outcome` label value used for `cn_gen_worker_exit`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkerOutcome::Completed { .. } => "completed",
+            WorkerOutcome::Panicked { .. } => "panicked",
+            WorkerOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A failure of the sharded pipeline, surfaced by
+/// [`ShardedStream::try_next`] / [`ShardedStream::finish`]. Once
+/// returned, the stream is *poisoned*: every further `try_next` repeats
+/// the error and the `Iterator` impl yields `None` (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A shard worker panicked; the records it had not yet shipped are
+    /// lost, so the stream refuses to pose as cleanly exhausted.
+    WorkerPanicked {
+        /// Index of the shard whose worker died.
+        shard: usize,
+        /// The worker's panic payload.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::WorkerPanicked { shard, payload } => {
+                write!(f, "shard {shard} worker panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What a fully wound-down stream reports from
+/// [`ShardedStream::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Records this stream handed to the consumer.
+    pub events: u64,
+    /// Terminal state of each shard worker, indexed by shard. Empty on
+    /// the inline path (no workers exist).
+    pub outcomes: Vec<WorkerOutcome>,
+}
+
 /// One shard's endpoint on the consumer side: the receive handle plus a
-/// cursor over the block currently being drained.
+/// cursor over the block currently being drained, and the worker's
+/// control slot for telling clean exhaustion apart from a crash.
 ///
 /// Invariant while the shard is live: the merge tree's head for this shard
 /// equals `block[pos]`, the shard's next undelivered record.
 struct ShardCursor {
+    shard: usize,
     rx: Receiver<Vec<TraceRecord>>,
     block: Vec<TraceRecord>,
     pos: usize,
+    outcome: Arc<OnceLock<WorkerOutcome>>,
 }
 
 impl ShardCursor {
     /// The record at `pos` — this shard's next merge head — receiving the
-    /// next block when the current one is exhausted; `None` once the
-    /// worker has finished and every block is drained.
-    fn head(&mut self) -> Option<TraceRecord> {
+    /// next block when the current one is exhausted; `Ok(None)` once the
+    /// worker has **completed** and every block is drained, and a typed
+    /// error when the channel disconnected for any other reason.
+    fn head(&mut self) -> Result<Option<TraceRecord>, StreamError> {
         loop {
             if let Some(&rec) = self.block.get(self.pos) {
-                return Some(rec);
+                return Ok(Some(rec));
             }
             match self.rx.recv() {
                 Ok(block) => {
                     self.block = block;
                     self.pos = 0;
                 }
-                Err(_) => return None,
+                Err(_) => {
+                    // The worker is gone; its outcome was published
+                    // before the channel disconnected, so the slot is
+                    // authoritative here.
+                    return match self.outcome.get() {
+                        Some(WorkerOutcome::Completed { .. }) => Ok(None),
+                        Some(WorkerOutcome::Panicked { payload }) => {
+                            Err(StreamError::WorkerPanicked {
+                                shard: self.shard,
+                                payload: payload.clone(),
+                            })
+                        }
+                        // `Cancelled` is only set after *this receiver*
+                        // was dropped, so a live cursor can never see it;
+                        // treat it — and a missing outcome — as the
+                        // worker vanishing, which is a failure.
+                        Some(WorkerOutcome::Cancelled) | None => Err(StreamError::WorkerPanicked {
+                            shard: self.shard,
+                            payload: "worker exited without publishing an outcome".into(),
+                        }),
+                    };
+                }
             }
         }
     }
@@ -132,10 +263,15 @@ impl ShardCursor {
 /// use cn_gen::{GenConfig, ShardedStream};
 /// # let models: cn_fit::ModelSet = unimplemented!();
 /// # let config: GenConfig = unimplemented!();
-/// for record in ShardedStream::new(&models, &config) {
-///     // identical records, identical order, S cores at work
+/// // Failure-contained consumption: a worker panic becomes a typed
+/// // error instead of a silently truncated trace.
+/// let mut stream = ShardedStream::new(&models, &config);
+/// while let Some(record) = stream.try_next()? {
 ///     let _ = record;
 /// }
+/// let stats = stream.finish()?;
+/// println!("complete: {} events", stats.events);
+/// # Ok::<(), cn_gen::StreamError>(())
 /// ```
 pub struct ShardedStream<'m> {
     inner: Inner<'m>,
@@ -145,9 +281,13 @@ enum Inner<'m> {
     /// Single-shard fast path: the sequential merge, zero threads. The
     /// unobserved variant is a pure delegation — splitting it from
     /// [`Inner::InlineObserved`] keeps the default path's per-record cost
-    /// at exactly zero added instructions (the `--gate 0.95` benchmark
-    /// floor leaves no budget for even a per-record branch here).
-    Inline(PopulationStream<'m>),
+    /// at an emitted-count increment (the `--gate 0.95` benchmark floor
+    /// leaves no budget for more).
+    Inline {
+        stream: PopulationStream<'m>,
+        /// Records emitted so far (feeds [`ShardedStream::finish`]).
+        emitted: u64,
+    },
     /// The inline fast path with a live registry attached.
     InlineObserved {
         stream: PopulationStream<'m>,
@@ -157,6 +297,8 @@ enum Inner<'m> {
         /// exhaustion, and on drop).
         events: Counter,
         pending: u64,
+        /// Records emitted so far (feeds [`ShardedStream::finish`]).
+        emitted: u64,
     },
     /// Worker threads + block channels + consumer-side S-way merge.
     Parallel(ParallelStream),
@@ -190,7 +332,18 @@ struct ParallelStream {
     /// Unemitted records of the current run; all of them precede every
     /// other shard's head, so they bypass the tree entirely.
     run_len: usize,
+    /// Records handed to the consumer so far.
+    emitted: u64,
+    /// The first worker failure observed; once set, the stream emits
+    /// nothing further (poisoned — see module docs).
+    poisoned: Option<StreamError>,
     obs: MergeObs,
+    /// Per-shard control slots (also referenced by the cursors), read at
+    /// shutdown after the cursors are gone.
+    slots: Vec<Arc<OnceLock<WorkerOutcome>>>,
+    /// Worker outcomes, collected exactly once at shutdown.
+    collected: Option<Vec<WorkerOutcome>>,
+    registry: Registry,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -242,7 +395,11 @@ impl<'m> ShardedStream<'m> {
     ///   is fully drained);
     /// * `cn_gen_merge_run_len` — histogram of block-drain run lengths;
     /// * `cn_gen_shard_mode_parallel` / `cn_gen_shard_workers` — gauges
-    ///   exposing which execution path engaged.
+    ///   exposing which execution path engaged;
+    /// * `cn_gen_worker_exit{outcome=completed|panicked|cancelled}` —
+    ///   one increment per worker at wind-down ([`ShardedStream::finish`]
+    ///   or drop), plus `cn_gen_shard_panics_total{shard=i}` for each
+    ///   panicked worker.
     ///
     /// With a disabled registry every handle is a no-op and the pipeline
     /// is byte-for-byte the unobserved one (the stall timer is not even
@@ -252,6 +409,45 @@ impl<'m> ShardedStream<'m> {
         config: &GenConfig,
         shards: usize,
         registry: &Registry,
+    ) -> ShardedStream<'m> {
+        Self::build(models, config, shards, registry, |_| NoFault)
+    }
+
+    /// **Test support** — as [`ShardedStream::with_shards_observed`], with
+    /// a deterministic [`FaultPlan`] injected into the shard workers (see
+    /// [`crate::fault`]). Production code has no reason to call this; the
+    /// tier-1 failure-containment suite uses it to prove every injected
+    /// fault surfaces as a typed [`StreamError`].
+    ///
+    /// Panics if the plan is non-empty but the stream resolves to the
+    /// inline path (fault injection targets worker threads, and a silently
+    /// un-injected fault would make a test vacuous).
+    pub fn with_shards_faulted(
+        models: &'m ModelSet,
+        config: &GenConfig,
+        shards: usize,
+        registry: &Registry,
+        plan: &FaultPlan,
+    ) -> ShardedStream<'m> {
+        let effective = shards.clamp(1, (config.population.total() as usize).max(1));
+        assert!(
+            effective >= 2 || plan.is_empty(),
+            "fault injection requires the parallel path (≥ 2 effective shards), got {effective}"
+        );
+        Self::build(models, config, shards, registry, |shard| {
+            plan.for_shard(shard)
+        })
+    }
+
+    /// Shared constructor: clamp, choose the execution path, and spawn
+    /// workers with `fault_for(shard)` as their (monomorphized) fault
+    /// hook — [`NoFault`] for every production caller.
+    fn build<F: FaultHook>(
+        models: &'m ModelSet,
+        config: &GenConfig,
+        shards: usize,
+        registry: &Registry,
+        fault_for: impl Fn(usize) -> F,
     ) -> ShardedStream<'m> {
         let shards = shards.clamp(1, (config.population.total() as usize).max(1));
         let mode = registry.gauge("cn_gen_shard_mode_parallel");
@@ -265,9 +461,10 @@ impl<'m> ShardedStream<'m> {
                     stream,
                     events: registry.counter("cn_gen_merge_events_total"),
                     pending: 0,
+                    emitted: 0,
                 }
             } else {
-                Inner::Inline(stream)
+                Inner::Inline { stream, emitted: 0 }
             };
             return ShardedStream { inner };
         }
@@ -279,6 +476,7 @@ impl<'m> ShardedStream<'m> {
                 config,
                 shards,
                 registry,
+                fault_for,
             )),
         }
     }
@@ -286,14 +484,17 @@ impl<'m> ShardedStream<'m> {
     /// True when this stream runs on the caller's thread (the single-shard
     /// fast path): no worker threads, no channels were created.
     pub fn is_inline(&self) -> bool {
-        matches!(self.inner, Inner::Inline(_) | Inner::InlineObserved { .. })
+        matches!(
+            self.inner,
+            Inner::Inline { .. } | Inner::InlineObserved { .. }
+        )
     }
 
     /// Number of worker threads backing this stream — `0` on the inline
     /// fast path, the shard count otherwise.
     pub fn worker_threads(&self) -> usize {
         match &self.inner {
-            Inner::Inline(_) | Inner::InlineObserved { .. } => 0,
+            Inner::Inline { .. } | Inner::InlineObserved { .. } => 0,
             Inner::Parallel(p) => p.workers.len(),
         }
     }
@@ -302,10 +503,118 @@ impl<'m> ShardedStream<'m> {
     /// counts as one shard until it drains).
     pub fn live_shards(&self) -> usize {
         match &self.inner {
-            Inner::Inline(stream) | Inner::InlineObserved { stream, .. } => {
+            Inner::Inline { stream, .. } | Inner::InlineObserved { stream, .. } => {
                 usize::from(stream.live_ues() > 0)
             }
             Inner::Parallel(p) => p.tree.live(),
+        }
+    }
+
+    /// The failure that poisoned this stream, if any. Set as soon as a
+    /// worker failure is observed — including when it was observed through
+    /// the plain [`Iterator`] interface, which can only signal it by
+    /// ending (`None`); check this afterwards, or use
+    /// [`ShardedStream::try_next`] / [`ShardedStream::finish`] to get the
+    /// error directly.
+    pub fn error(&self) -> Option<&StreamError> {
+        match &self.inner {
+            Inner::Parallel(p) => p.poisoned.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The fallible pull: `Ok(Some(record))` while records flow,
+    /// `Ok(None)` on clean exhaustion, and `Err` when a worker failed —
+    /// at which point the stream is poisoned and every further call
+    /// repeats the error. The inline path cannot fail (no workers, no
+    /// channels) and always returns `Ok`.
+    pub fn try_next(&mut self) -> Result<Option<TraceRecord>, StreamError> {
+        match &mut self.inner {
+            Inner::Inline { stream, emitted } => {
+                let rec = stream.next();
+                if rec.is_some() {
+                    *emitted += 1;
+                }
+                Ok(rec)
+            }
+            Inner::InlineObserved {
+                stream,
+                events,
+                pending,
+                emitted,
+            } => match stream.next() {
+                Some(rec) => {
+                    *pending += 1;
+                    *emitted += 1;
+                    if *pending >= BLOCK_RECORDS as u64 {
+                        events.add(std::mem::take(pending));
+                    }
+                    Ok(Some(rec))
+                }
+                None => {
+                    events.add(std::mem::take(pending));
+                    Ok(None)
+                }
+            },
+            Inner::Parallel(p) => p.try_next_record(),
+        }
+    }
+
+    /// Wind the stream down and account for every worker: joins the
+    /// worker threads, records their exit outcomes (and the
+    /// `cn_gen_worker_exit` / `cn_gen_shard_panics_total` counters when
+    /// observed), and returns the stream's statistics — or the
+    /// [`StreamError`] if the stream was poisoned **or any worker turns
+    /// out to have panicked**, even one whose records were never needed
+    /// by the merge.
+    ///
+    /// Calling `finish` before draining the stream is a *deliberate* early
+    /// stop: still-running workers are cancelled (reported as
+    /// [`WorkerOutcome::Cancelled`], not as failures) and `events` counts
+    /// what was actually emitted. A complete, failure-free export is
+    /// therefore exactly: drain `try_next` to `Ok(None)`, then `finish()?`.
+    pub fn finish(mut self) -> Result<StreamStats, StreamError> {
+        self.finish_in_place()
+    }
+
+    fn finish_in_place(&mut self) -> Result<StreamStats, StreamError> {
+        match &mut self.inner {
+            Inner::Inline { emitted, .. } => Ok(StreamStats {
+                events: *emitted,
+                outcomes: Vec::new(),
+            }),
+            Inner::InlineObserved {
+                events,
+                pending,
+                emitted,
+                ..
+            } => {
+                events.add(std::mem::take(pending));
+                Ok(StreamStats {
+                    events: *emitted,
+                    outcomes: Vec::new(),
+                })
+            }
+            Inner::Parallel(p) => {
+                let outcomes = p.shutdown().to_vec();
+                if let Some(e) = &p.poisoned {
+                    return Err(e.clone());
+                }
+                if let Some((shard, payload)) =
+                    outcomes.iter().enumerate().find_map(|(s, o)| match o {
+                        WorkerOutcome::Panicked { payload } => Some((s, payload.clone())),
+                        _ => None,
+                    })
+                {
+                    let e = StreamError::WorkerPanicked { shard, payload };
+                    p.poisoned = Some(e.clone());
+                    return Err(e);
+                }
+                Ok(StreamStats {
+                    events: p.emitted,
+                    outcomes,
+                })
+            }
         }
     }
 }
@@ -313,28 +622,13 @@ impl<'m> ShardedStream<'m> {
 impl Iterator for ShardedStream<'_> {
     type Item = TraceRecord;
 
+    /// Infallible view of [`ShardedStream::try_next`]. A worker failure
+    /// cannot be returned here, so the iterator **fuses and poisons**:
+    /// it yields `None` from the failure on (never a record that would
+    /// paper over the gap), [`ShardedStream::error`] holds the
+    /// [`StreamError`], and drop still records every worker's exit.
     fn next(&mut self) -> Option<TraceRecord> {
-        match &mut self.inner {
-            Inner::Inline(stream) => stream.next(),
-            Inner::InlineObserved {
-                stream,
-                events,
-                pending,
-            } => match stream.next() {
-                Some(rec) => {
-                    *pending += 1;
-                    if *pending >= BLOCK_RECORDS as u64 {
-                        events.add(std::mem::take(pending));
-                    }
-                    Some(rec)
-                }
-                None => {
-                    events.add(std::mem::take(pending));
-                    None
-                }
-            },
-            Inner::Parallel(p) => p.next_record(),
-        }
+        self.try_next().unwrap_or(None)
     }
 }
 
@@ -342,7 +636,7 @@ impl Drop for ShardedStream<'_> {
     fn drop(&mut self) {
         // Flush the observed inline path's batched event count so an
         // abandoned stream still reports what it emitted. (The parallel
-        // path's accounting lives in `ParallelStream`.)
+        // path's accounting lives in `ParallelStream::drop`.)
         if let Inner::InlineObserved {
             events, pending, ..
         } = &mut self.inner
@@ -352,38 +646,90 @@ impl Drop for ShardedStream<'_> {
     }
 }
 
+/// Render a worker's panic payload for [`WorkerOutcome::Panicked`].
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl ParallelStream {
-    fn spawn(
+    fn spawn<F: FaultHook>(
         models: Arc<ModelSet>,
         config: &GenConfig,
         shards: usize,
         registry: &Registry,
+        fault_for: impl Fn(usize) -> F,
     ) -> ParallelStream {
         let config = *config;
         let mut cursors = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut slots = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = sync_channel(CHANNEL_BLOCKS);
             let models = Arc::clone(&models);
             let obs = WorkerObs::register(registry, shard);
+            let slot: Arc<OnceLock<WorkerOutcome>> = Arc::new(OnceLock::new());
+            let worker_slot = Arc::clone(&slot);
+            let mut fault = fault_for(shard);
             let handle = std::thread::Builder::new()
                 .name(format!("cn-gen-shard-{shard}"))
-                .spawn(move || shard_worker(&models, &config, shard, shards, &tx, &obs))
+                .spawn(move || {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        shard_worker(&models, &config, shard, shards, &tx, &obs, &mut fault)
+                    }));
+                    let outcome = match run {
+                        Ok(WorkerRun::Completed { events }) => WorkerOutcome::Completed { events },
+                        Ok(WorkerRun::ConsumerGone) => WorkerOutcome::Cancelled,
+                        Err(payload) => WorkerOutcome::Panicked {
+                            payload: panic_payload(payload.as_ref()),
+                        },
+                    };
+                    let _ = worker_slot.set(outcome);
+                    // `tx` disconnects only now — after the outcome is
+                    // published — so the consumer always finds a terminal
+                    // state behind a closed channel.
+                    drop(tx);
+                })
                 .expect("spawn shard worker");
             workers.push(handle);
+            slots.push(Arc::clone(&slot));
             cursors.push(ShardCursor {
+                shard,
                 rx,
                 block: Vec::new(),
                 pos: 0,
+                outcome: slot,
             });
         }
-        let heads: Vec<Option<TraceRecord>> = cursors.iter_mut().map(ShardCursor::head).collect();
+        // A worker can fail before shipping its first block; that must
+        // poison the stream at construction, not read as an empty shard.
+        let mut poisoned = None;
+        let heads: Vec<Option<TraceRecord>> = cursors
+            .iter_mut()
+            .map(|c| match c.head() {
+                Ok(h) => h,
+                Err(e) => {
+                    poisoned.get_or_insert(e);
+                    None
+                }
+            })
+            .collect();
         ParallelStream {
             shards: cursors,
             tree: LoserTree::new(heads),
             run: 0,
             run_len: 0,
+            emitted: 0,
+            poisoned,
             obs: MergeObs::register(registry),
+            slots,
+            collected: None,
+            registry: registry.clone(),
             workers,
         }
     }
@@ -416,33 +762,84 @@ impl ParallelStream {
         true
     }
 
-    fn next_record(&mut self) -> Option<TraceRecord> {
+    fn try_next_record(&mut self) -> Result<Option<TraceRecord>, StreamError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
         if self.run_len == 0 && !self.begin_run() {
-            return None;
+            return Ok(None);
         }
         let cursor = &mut self.shards[self.run];
         let rec = cursor.block[cursor.pos];
         cursor.pos += 1;
         self.run_len -= 1;
+        self.emitted += 1;
         if self.run_len == 0 {
             // Run exhausted: fetch this shard's next head (receiving the
             // next block if need be) and replay the tournament once for
-            // the whole run.
-            let next = cursor.head();
+            // the whole run. A failure here poisons the stream — the
+            // record already pulled is still part of the valid prefix,
+            // so it is returned; the *next* call errors.
+            let next = match cursor.head() {
+                Ok(h) => h,
+                Err(e) => {
+                    self.poisoned = Some(e);
+                    None
+                }
+            };
             self.tree.replace_run(next);
         }
-        Some(rec)
+        Ok(Some(rec))
+    }
+
+    /// Disconnect, join, and account for every worker — exactly once;
+    /// later calls return the cached outcomes. Blocked workers observe
+    /// the disconnect as a failed send and wind down as `Cancelled`, so
+    /// this never deadlocks.
+    fn shutdown(&mut self) -> &[WorkerOutcome] {
+        if self.collected.is_none() {
+            // Drop the receivers first: any worker blocked on a full
+            // channel fails its send and exits.
+            self.shards.clear();
+            for handle in self.workers.drain(..) {
+                // A join error would mean a panic escaped the worker's
+                // catch_unwind; the slot fallback below reports it.
+                let _ = handle.join();
+            }
+            let outcomes: Vec<WorkerOutcome> = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    slot.get().cloned().unwrap_or(WorkerOutcome::Panicked {
+                        payload: "worker exited without publishing an outcome".into(),
+                    })
+                })
+                .collect();
+            for (shard, outcome) in outcomes.iter().enumerate() {
+                self.registry
+                    .counter_with("cn_gen_worker_exit", &[("outcome", outcome.label())])
+                    .inc();
+                if matches!(outcome, WorkerOutcome::Panicked { .. }) {
+                    self.registry
+                        .counter_with(
+                            "cn_gen_shard_panics_total",
+                            &[("shard", &shard.to_string())],
+                        )
+                        .inc();
+                }
+            }
+            self.collected = Some(outcomes);
+        }
+        self.collected.as_deref().expect("outcomes just collected")
     }
 }
 
 impl Drop for ParallelStream {
     fn drop(&mut self) {
-        // Dropping the receivers fails any blocked worker send, so workers
-        // wind down promptly even when the stream is abandoned mid-run.
-        self.shards.clear();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        // Join workers and *record* their terminal states (worker-exit
+        // counters, panic counters) instead of swallowing them — an
+        // abandoned or poisoned stream still leaves evidence.
+        self.shutdown();
     }
 }
 
@@ -523,17 +920,32 @@ impl WorkerObs {
     }
 }
 
+/// How a worker's generation loop ended (pre-`catch_unwind` view; the
+/// published [`WorkerOutcome`] adds the panic case).
+enum WorkerRun {
+    /// Every record of this shard was generated and shipped.
+    Completed {
+        /// Records shipped.
+        events: u64,
+    },
+    /// A send failed: the consumer dropped its receiver.
+    ConsumerGone,
+}
+
 /// Worker body: merge this shard's UE streams into a sorted run and ship
-/// it as blocks. Returning early on a failed send is the cancellation
-/// path (the consumer hung up).
-fn shard_worker(
+/// it as blocks. Returning [`WorkerRun::ConsumerGone`] on a failed send is
+/// the cancellation path (the consumer hung up). `fault` is the
+/// monomorphized fault-injection hook — [`NoFault`] (empty inline bodies)
+/// everywhere outside the failure-containment tests.
+fn shard_worker<F: FaultHook>(
     models: &ModelSet,
     config: &GenConfig,
     shard: usize,
     shards: usize,
     tx: &SyncSender<Vec<TraceRecord>>,
     obs: &WorkerObs,
-) {
+    fault: &mut F,
+) -> WorkerRun {
     let end = config.end();
     let total = config.population.total();
     let mut generators: Vec<UeEventIter<'_>> = (shard as u32..total)
@@ -554,20 +966,30 @@ fn shard_worker(
     let heads: Vec<Option<TraceRecord>> = generators.iter_mut().map(Iterator::next).collect();
     let mut tree = LoserTree::new(heads);
     let mut block = Vec::with_capacity(BLOCK_RECORDS);
+    let mut shipped = 0u64;
     while let Some(w) = tree.winner() {
+        fault.on_record();
         let next = generators[w].next();
         let rec = tree.pop_and_replace(next).expect("winner has a head");
         block.push(rec);
         if block.len() == BLOCK_RECORDS {
             let full = std::mem::replace(&mut block, Vec::with_capacity(BLOCK_RECORDS));
+            fault.on_block();
             if !obs.ship(tx, full) {
-                return;
+                return WorkerRun::ConsumerGone;
             }
+            shipped += BLOCK_RECORDS as u64;
         }
     }
     if !block.is_empty() {
-        obs.ship(tx, block);
+        let records = block.len() as u64;
+        fault.on_block();
+        if !obs.ship(tx, block) {
+            return WorkerRun::ConsumerGone;
+        }
+        shipped += records;
     }
+    WorkerRun::Completed { events: shipped }
 }
 
 #[cfg(test)]
@@ -694,6 +1116,59 @@ mod tests {
     }
 
     #[test]
+    fn finish_reports_stats_on_every_path() {
+        let models = fitted();
+        let config = config();
+        let expected = PopulationStream::new(&models, &config).count() as u64;
+
+        // Parallel: drain, then finish — all workers completed.
+        let mut stream = ShardedStream::with_shards(&models, &config, 3);
+        while stream.try_next().expect("no fault injected").is_some() {}
+        let stats = stream.finish().expect("clean run");
+        assert_eq!(stats.events, expected);
+        assert_eq!(stats.outcomes.len(), 3);
+        let shipped: u64 = stats
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                WorkerOutcome::Completed { events } => *events,
+                other => panic!("unexpected outcome {other:?}"),
+            })
+            .sum();
+        assert_eq!(shipped, expected, "workers shipped exactly the workload");
+
+        // Inline: same contract, no outcomes (no workers exist).
+        let mut inline = ShardedStream::with_shards(&models, &config, 1);
+        while inline.try_next().expect("inline cannot fail").is_some() {}
+        let stats = inline.finish().expect("inline cannot fail");
+        assert_eq!(stats.events, expected);
+        assert!(stats.outcomes.is_empty());
+    }
+
+    #[test]
+    fn early_finish_is_a_cancellation_not_an_error() {
+        let models = fitted();
+        let mut config = config();
+        config.duration_hours = 6.0;
+        let mut stream = ShardedStream::with_shards(&models, &config, 3);
+        let mut taken = 0u64;
+        for _ in 0..10 {
+            if stream.try_next().expect("no fault").is_none() {
+                break;
+            }
+            taken += 1;
+        }
+        let stats = stream.finish().expect("early stop is deliberate");
+        assert_eq!(stats.events, taken);
+        // Workers either completed (tiny shards) or were cancelled; none
+        // panicked.
+        assert!(stats
+            .outcomes
+            .iter()
+            .all(|o| !matches!(o, WorkerOutcome::Panicked { .. })));
+    }
+
+    #[test]
     fn observed_parallel_counters_balance_exactly() {
         let models = fitted();
         let config = config();
@@ -724,6 +1199,17 @@ mod tests {
         assert_eq!(runs.sum, n, "run lengths must cover every record");
         assert_eq!(snap.gauge("cn_gen_shard_mode_parallel"), Some(1));
         assert_eq!(snap.gauge("cn_gen_shard_workers"), Some(4));
+        // `count` consumed and dropped the stream, so the worker-exit
+        // ledger is written: all four workers completed, none panicked.
+        assert_eq!(
+            snap.get("cn_gen_worker_exit", &[("outcome", "completed")])
+                .map(|m| m.value.clone()),
+            Some(cn_obs::MetricValue::Counter { value: 4 })
+        );
+        assert!(snap
+            .get("cn_gen_worker_exit", &[("outcome", "panicked")])
+            .is_none());
+        assert_eq!(snap.counter_total("cn_gen_shard_panics_total"), None);
     }
 
     #[test]
@@ -771,6 +1257,28 @@ mod tests {
         let observed: Trace =
             ShardedStream::with_shards_observed(&models, &config, 3, &registry).collect();
         assert_eq!(observed, plain, "telemetry must never change the stream");
+    }
+
+    #[test]
+    fn faulting_an_inline_stream_is_refused() {
+        // A fault plan that cannot fire would make its test vacuous.
+        let models = fitted();
+        let config = config();
+        let plan = FaultPlan::new().panic_shard_at(0, 1);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ShardedStream::with_shards_faulted(&models, &config, 1, &Registry::disabled(), &plan)
+        }));
+        assert!(err.is_err(), "inline + non-empty plan must panic");
+        // An empty plan is the unfaulted stream, inline path included.
+        let n = ShardedStream::with_shards_faulted(
+            &models,
+            &config,
+            1,
+            &Registry::disabled(),
+            &FaultPlan::new(),
+        )
+        .count();
+        assert_eq!(n, PopulationStream::new(&models, &config).count());
     }
 
     #[test]

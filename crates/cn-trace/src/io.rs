@@ -156,8 +156,13 @@ pub fn to_binary(trace: &Trace) -> Vec<u8> {
     buf
 }
 
-/// Deserialize a trace from the compact binary format.
-pub fn from_binary(mut data: &[u8]) -> Result<Trace, IoError> {
+/// Bytes per binary record: u64 t_ms + u32 ue + u8 device + u8 event.
+const RECORD_BYTES: usize = 14;
+
+/// Validate the magic of a binary trace and split off the 16-byte
+/// header, returning the (untrusted) stored record count and the record
+/// payload.
+fn binary_header(mut data: &[u8]) -> Result<(u64, &[u8]), IoError> {
     if data.len() < 16 {
         return Err(IoError::Binary("truncated header".into()));
     }
@@ -166,15 +171,16 @@ pub fn from_binary(mut data: &[u8]) -> Result<Trace, IoError> {
     if &magic != BINARY_MAGIC {
         return Err(IoError::Binary("bad magic".into()));
     }
-    let n = data.get_u64_le() as usize;
-    if data.remaining() != n * 14 {
-        return Err(IoError::Binary(format!(
-            "expected {} record bytes, found {}",
-            n * 14,
-            data.remaining()
-        )));
-    }
-    let mut records = Vec::with_capacity(n);
+    let count = data.get_u64_le();
+    Ok((count, data))
+}
+
+/// Parse `n` fixed-size records from `data` (already length-checked).
+fn read_records(mut data: &[u8], n: usize) -> Result<Trace, IoError> {
+    // Belt and braces for the untrusted-length path: never preallocate
+    // more than the payload can actually hold, even if a caller's length
+    // check was wrong.
+    let mut records = Vec::with_capacity(n.min(data.remaining() / RECORD_BYTES));
     for _ in 0..n {
         let t = data.get_u64_le();
         let ue = data.get_u32_le();
@@ -192,11 +198,72 @@ pub fn from_binary(mut data: &[u8]) -> Result<Trace, IoError> {
     Ok(Trace::from_records(records))
 }
 
+/// Deserialize a trace from the compact binary format.
+///
+/// The header's record count is **untrusted input**: it is range-checked
+/// with `usize::try_from` + `checked_mul` before any arithmetic or
+/// allocation, so a crafted count can neither wrap the length check (on
+/// release builds without overflow checks, `n * 14` used to be able to
+/// alias a small payload length) nor drive `Vec::with_capacity` into an
+/// allocation-abort.
+pub fn from_binary(data: &[u8]) -> Result<Trace, IoError> {
+    let (count, payload) = binary_header(data)?;
+    let n = usize::try_from(count)
+        .map_err(|_| IoError::Binary(format!("record count {count} exceeds address space")))?;
+    let expected = n
+        .checked_mul(RECORD_BYTES)
+        .ok_or_else(|| IoError::Binary(format!("record count {count} overflows payload size")))?;
+    if payload.len() != expected {
+        return Err(IoError::Binary(format!(
+            "expected {expected} record bytes, found {}",
+            payload.len()
+        )));
+    }
+    read_records(payload, n)
+}
+
+/// Recover a trace from a binary stream whose header count was never
+/// patched — the on-disk state a crashed [`BinaryStreamWriter`] leaves
+/// behind (see its finish-or-recover contract). The record count is
+/// derived from the payload length instead of the header; the payload
+/// must be whole records (`len % 14 == 0`), so a write torn mid-record is
+/// still rejected rather than misparsed.
+///
+/// `recover_binary` accepts any stored count (it ignores it), so it also
+/// reads complete traces; prefer [`from_binary`] whenever the writer
+/// `finish`ed, since the count cross-check there detects more corruption.
+pub fn recover_binary(data: &[u8]) -> Result<Trace, IoError> {
+    let (_stored_count, payload) = binary_header(data)?;
+    if payload.len() % RECORD_BYTES != 0 {
+        return Err(IoError::Binary(format!(
+            "payload of {} bytes is not whole {RECORD_BYTES}-byte records \
+             (torn trailing write?)",
+            payload.len()
+        )));
+    }
+    read_records(payload, payload.len() / RECORD_BYTES)
+}
+
 /// Incremental writer for the binary format: stream records to any `Write`
 /// sink without materializing the trace (pairs with
 /// `cn-gen::PopulationStream`). The record count is written on `finish`,
 /// so the sink must support seeking — use [`BinaryStreamWriter::new`] on a
 /// `File` or an in-memory cursor.
+///
+/// ### The finish-or-recover contract
+///
+/// The header is written with a **zero count placeholder** that only
+/// [`BinaryStreamWriter::finish`] patches to the true count. An export
+/// that is dropped without `finish` — a crash, a panicked generator, an
+/// early return on a [`IoError::Io`] from the sink — therefore leaves a
+/// file that [`from_binary`] *rejects* (count `0`, payload non-empty):
+/// a partial trace can never be mistaken for a complete one. The records
+/// that did reach the sink are still salvageable with [`recover_binary`],
+/// which derives the count from the payload length instead. In short:
+///
+/// * clean export → `finish()?` → read with [`from_binary`];
+/// * crashed export → file fails [`from_binary`] loudly → salvage the
+///   prefix, explicitly, with [`recover_binary`].
 pub struct BinaryStreamWriter<W: Write + std::io::Seek> {
     sink: W,
     count: u64,
@@ -228,6 +295,17 @@ impl<W: Write + std::io::Seek> BinaryStreamWriter<W> {
         self.count
     }
 
+    /// Abandon the export and take back the sink **without** patching the
+    /// header count: the bytes written so far deliberately fail
+    /// [`from_binary`] and are only readable via [`recover_binary`] (see
+    /// the finish-or-recover contract). Use after a [`write`] error to
+    /// inspect or salvage the partial output.
+    ///
+    /// [`write`]: BinaryStreamWriter::write
+    pub fn into_sink(self) -> W {
+        self.sink
+    }
+
     /// Finalize: patch the record count into the header and return the
     /// sink.
     pub fn finish(mut self) -> Result<W, IoError> {
@@ -237,6 +315,55 @@ impl<W: Write + std::io::Seek> BinaryStreamWriter<W> {
         self.sink.seek(std::io::SeekFrom::End(0))?;
         self.sink.flush()?;
         Ok(self.sink)
+    }
+}
+
+/// **Test support** — a `Write`/`Seek` adapter that fails with an I/O
+/// error after `budget` bytes have been written: the sink leg of the
+/// deterministic fault-injection harness (`cn_gen::fault` holds the
+/// worker legs). Lets tests prove that a mid-export disk failure
+/// propagates as a typed [`IoError::Io`] — and that the partial file the
+/// failure leaves behind obeys the finish-or-recover contract above.
+pub struct FailingWriter<W> {
+    inner: W,
+    budget: usize,
+}
+
+impl<W> FailingWriter<W> {
+    /// Wrap `inner`, allowing exactly `budget` bytes before every write
+    /// fails.
+    pub fn new(inner: W, budget: usize) -> FailingWriter<W> {
+        FailingWriter { inner, budget }
+    }
+
+    /// The wrapped sink (with whatever bytes made it through).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FailingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.len() > self.budget {
+            return Err(std::io::Error::other(format!(
+                "injected fault: write budget exhausted ({} bytes left, {} requested)",
+                self.budget,
+                buf.len()
+            )));
+        }
+        let written = self.inner.write(buf)?;
+        self.budget -= written.min(self.budget);
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<W: std::io::Seek> std::io::Seek for FailingWriter<W> {
+    fn seek(&mut self, pos: std::io::SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
     }
 }
 
@@ -344,6 +471,102 @@ mod tests {
         let w = BinaryStreamWriter::new(cursor).unwrap();
         let bytes = w.finish().unwrap().into_inner();
         assert_eq!(from_binary(&bytes).unwrap(), Trace::new());
+    }
+
+    #[test]
+    fn crafted_header_counts_error_instead_of_aborting() {
+        // Regression: `n as usize` truncated on 32-bit and `n * 14` could
+        // wrap in release builds, so a crafted count could pass the
+        // length check and drive Vec::with_capacity into an abort. Every
+        // hostile count must now produce a typed error.
+        let t = sample();
+        let good = to_binary(&t);
+        let hostile_counts: [u64; 5] = [
+            u64::MAX,
+            // Wraps `n * 14` to 2 (mod 2^64): 2^64 = 14 * q + 2.
+            (u64::MAX / 14) + 1,
+            u64::MAX / 14,
+            (1 << 62) + 3,
+            // Plausible but absurd: claims more records than bytes exist.
+            1 << 40,
+        ];
+        for count in hostile_counts {
+            let mut bin = good.clone();
+            bin[8..16].copy_from_slice(&count.to_le_bytes());
+            let err = from_binary(&bin).expect_err(&format!("count {count} must be rejected"));
+            assert!(matches!(err, IoError::Binary(_)), "{err}");
+        }
+        // And a count that is simply wrong (but small) still errors.
+        let mut bin = good;
+        bin[8..16].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(from_binary(&bin), Err(IoError::Binary(_))));
+    }
+
+    #[test]
+    fn recover_binary_salvages_a_drop_without_finish() {
+        // A crashed export: records written, header count never patched.
+        let t = sample();
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        {
+            let mut w = BinaryStreamWriter::new(&mut cursor).unwrap();
+            for r in t.iter() {
+                w.write(r).unwrap();
+            }
+            // no finish(): the zero-count placeholder stays
+        }
+        let bytes = cursor.into_inner();
+        // from_binary must reject it — a partial export may never pose as
+        // a complete trace…
+        assert!(matches!(from_binary(&bytes), Err(IoError::Binary(_))));
+        // …but the recover path salvages every record that hit the sink.
+        assert_eq!(recover_binary(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn recover_binary_rejects_torn_trailing_writes() {
+        let t = sample();
+        let mut bin = to_binary(&t);
+        bin.truncate(bin.len() - 5); // mid-record tear
+        assert!(matches!(recover_binary(&bin), Err(IoError::Binary(_))));
+        // Bad magic is rejected before any payload math.
+        let mut bad = to_binary(&t);
+        bad[0] = b'X';
+        assert!(matches!(recover_binary(&bad), Err(IoError::Binary(_))));
+        // Too short for even a header.
+        assert!(matches!(
+            recover_binary(&bad[..10]),
+            Err(IoError::Binary(_))
+        ));
+    }
+
+    #[test]
+    fn recover_binary_also_reads_finished_traces() {
+        let t = sample();
+        assert_eq!(recover_binary(&to_binary(&t)).unwrap(), t);
+        assert_eq!(
+            recover_binary(&to_binary(&Trace::new())).unwrap(),
+            Trace::new()
+        );
+    }
+
+    #[test]
+    fn failing_writer_surfaces_sink_errors_as_typed_io_errors() {
+        let t = sample();
+        // Budget for the header plus one and a half records: the second
+        // record's write must fail with IoError::Io, not panic or truncate
+        // silently.
+        let sink = FailingWriter::new(std::io::Cursor::new(Vec::new()), 16 + 21);
+        let mut w = BinaryStreamWriter::new(sink).unwrap();
+        let records: Vec<_> = t.iter().collect();
+        w.write(records[0]).unwrap();
+        let err = w.write(records[1]).expect_err("budget exhausted");
+        assert!(matches!(err, IoError::Io(_)), "{err}");
+        // What did reach the sink obeys the finish-or-recover contract.
+        let bytes = w.into_sink().into_inner().into_inner();
+        assert!(matches!(from_binary(&bytes), Err(IoError::Binary(_))));
+        let salvaged = recover_binary(&bytes).unwrap();
+        assert_eq!(salvaged.len(), 1);
+        assert_eq!(salvaged.iter().next(), Some(records[0]));
     }
 
     #[test]

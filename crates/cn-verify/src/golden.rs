@@ -124,6 +124,12 @@ pub fn run_golden(models: &ModelSet, config: &GenConfig) -> GoldenReport {
 /// Counters accumulate across cases: each sharded case adds its events to
 /// `cn_gen_merge_events_total`, and only parallel cases (shards > 1)
 /// populate the per-shard `cn_gen_shard_events_total` series.
+///
+/// Sharded cases are drained through the fallible
+/// [`ShardedStream::try_next`] / [`ShardedStream::finish`] API and the
+/// drained-event totals are asserted against the batch engine's workload
+/// size, so a worker failure or a short drain aborts the gate loudly
+/// instead of hashing a truncated trace into an "engine divergence".
 pub fn run_golden_observed(
     models: &ModelSet,
     config: &GenConfig,
@@ -152,10 +158,38 @@ pub fn run_golden_observed(
             hash: trace_hash(&trace),
         });
     }
+    // The batch engine (already pushed) fixes the expected workload size;
+    // the sharded cases below are drained through the *fallible* API so a
+    // worker failure aborts the gate as a typed error instead of hashing a
+    // silently truncated trace into a confusing "divergence".
+    let expected_events = cases[0].events;
     for shards in [1usize, 8] {
-        let trace = Trace::from_records(
-            ShardedStream::with_shards_observed(models, config, shards, registry).collect(),
+        let mut stream = ShardedStream::with_shards_observed(models, config, shards, registry);
+        let mut records = Vec::new();
+        loop {
+            match stream.try_next() {
+                Ok(Some(r)) => records.push(r),
+                Ok(None) => break,
+                Err(e) => panic!("golden sharded run (shards={shards}) failed: {e}"),
+            }
+        }
+        let stats = stream
+            .finish()
+            .unwrap_or_else(|e| panic!("golden sharded run (shards={shards}) failed: {e}"));
+        // Drained-event accounting: everything the workers produced was
+        // merged, and it is exactly the workload the batch engine defined.
+        assert_eq!(
+            stats.events as usize,
+            records.len(),
+            "sharded (shards={shards}) stream stats disagree with drained records"
         );
+        assert_eq!(
+            records.len(),
+            expected_events,
+            "sharded (shards={shards}) drained {} events, expected {expected_events}",
+            records.len()
+        );
+        let trace = Trace::from_records(records);
         cases.push(GoldenCase {
             engine: "sharded".into(),
             threads: 0,
@@ -164,7 +198,9 @@ pub fn run_golden_observed(
             hash: trace_hash(&trace),
         });
     }
-    let consistent = cases.windows(2).all(|w| w[0].hash == w[1].hash);
+    let consistent = cases
+        .windows(2)
+        .all(|w| w[0].hash == w[1].hash && w[0].events == w[1].events);
     GoldenReport { cases, consistent }
 }
 

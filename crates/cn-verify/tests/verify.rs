@@ -47,6 +47,18 @@ fn golden_hashes_agree_across_engines_and_match_the_pin() {
     let report = run_golden(&gt.set, &cn_verify::golden::standard_config());
     assert_eq!(report.cases.len(), 5);
     assert!(report.consistent, "{}", report.render());
+    // Explicit workload-size accounting: a hash agreement over truncated
+    // traces would be meaningless, so every engine must also have drained
+    // the full (non-empty) workload.
+    let expected = report.cases[0].events;
+    assert!(expected > 0, "golden workload must not be empty");
+    for c in &report.cases {
+        assert_eq!(
+            c.events, expected,
+            "{} (threads={} shards={}) drained a different workload",
+            c.engine, c.threads, c.shards
+        );
+    }
     let hash = report.hash().expect("consistent");
     check_pinned("standard-v1", hash).unwrap_or_else(|e| panic!("{e}"));
 }
@@ -61,6 +73,10 @@ fn observed_golden_run_is_identical_and_keeps_a_balanced_ledger() {
     // unobserved hashes byte for byte.
     assert_eq!(observed, run_golden(&gt.set, &config));
     let events = observed.cases[0].events as u64;
+    assert!(events > 0, "golden workload must not be empty");
+    // Every case drained the same, full workload (also enforced inside
+    // run_golden_observed, and folded into `consistent`).
+    assert!(observed.cases.iter().all(|c| c.events as u64 == events));
     let snap = registry.snapshot();
     // Two sharded cases (shards 1 and 8) drained through the merge; only
     // the 8-shard case runs parallel workers with per-shard counters.
@@ -69,6 +85,19 @@ fn observed_golden_run_is_identical_and_keeps_a_balanced_ledger() {
         snap.counter_total("cn_gen_shard_events_total"),
         Some(events)
     );
+    // Failure telemetry for a clean gate: all eight workers of the 8-shard
+    // case exited `completed`; nothing panicked or was cancelled.
+    let outcome = |o: &str| {
+        snap.get("cn_gen_worker_exit", &[("outcome", o)])
+            .map(|m| match m.value {
+                cn_obs::MetricValue::Counter { value } => value,
+                _ => panic!("worker exit must be a counter"),
+            })
+    };
+    assert_eq!(outcome("completed"), Some(8));
+    assert_eq!(outcome("panicked"), None);
+    assert_eq!(outcome("cancelled"), None);
+    assert_eq!(snap.counter_total("cn_gen_shard_panics_total"), None);
 }
 
 #[test]

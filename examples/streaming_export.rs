@@ -17,6 +17,12 @@
 //! snapshots, and the full Prometheus exposition is printed at the end —
 //! the same text a scrape endpoint would serve.
 //!
+//! The export drains the **fallible** API — `try_next()` records, then
+//! `finish()` for the `StreamStats` receipt — so a worker failure
+//! surfaces as a typed `StreamError` that aborts the export instead of
+//! silently truncating the file: an exporter that ends on `Ok(None)` and
+//! a `finish()` receipt *knows* it wrote the whole trace.
+//!
 //! Run with: `cargo run --release --example streaming_export`
 
 use cellular_cp_traffgen::gen::ShardedStream;
@@ -44,7 +50,7 @@ fn report(registry: &Registry, started: Instant) {
     );
 }
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fit once at modest scale.
     let model_mix = PopulationMix::new(120, 50, 25);
     let world = generate_world(&WorldConfig::new(model_mix, 2.0, 77));
@@ -63,7 +69,10 @@ fn main() -> std::io::Result<()> {
     let mut stream = ShardedStream::new_observed(&models, &config, &registry);
     let started = Instant::now();
     let mut next_report = 50_000;
-    for rec in stream.by_ref() {
+    // Drain through the fallible API: a worker panic arrives here as a
+    // typed StreamError (and `?` aborts the export loudly), never as an
+    // early `None` that would leave a truncated CSV posing as complete.
+    while let Some(rec) = stream.try_next()? {
         writeln!(
             out,
             "{},{},{},{}",
@@ -79,14 +88,22 @@ fn main() -> std::io::Result<()> {
         }
     }
     out.flush()?;
-    drop(stream);
+    // finish() is the export's receipt: it joins the workers and refuses
+    // to report success unless every shard completed.
+    let stats = stream.finish()?;
     span.finish();
     let total = written.get();
+    assert_eq!(stats.events, total, "the receipt counts what we wrote");
     let rate = total as f64 / started.elapsed().as_secs_f64();
+    let workers = if stats.outcomes.is_empty() {
+        "ran inline, no worker threads".to_string()
+    } else {
+        format!("{} shard workers completed", stats.outcomes.len())
+    };
     println!(
-        "streamed {total} events for {} UEs to {} ({rate:.0} events/s end to end)",
+        "streamed {total} events for {} UEs to {} ({rate:.0} events/s end to end; {workers})",
         config.population.total(),
-        path.display()
+        path.display(),
     );
 
     // The final snapshot is the pipeline's flight recorder. The merge
