@@ -38,13 +38,24 @@
 //! tracked number, not a claim — and the snapshot's per-shard /
 //! merge-side event ledger must balance exactly against the stream's
 //! event count or the benchmark exits non-zero.
+//!
+//! The **population-scaling axis** runs the out-of-core exporter at
+//! 20K → 200K → 2M UEs (window lengths shrunk to keep each point
+//! CI-sized) under one fixed chunk size and spill budget, recording
+//! `events_per_sec` and the point's own `peak_rss_mb` (watermark reset
+//! between points) in the JSON's `scaling` array. `--rss-gate FACTOR`
+//! exits non-zero if any point's peak RSS exceeds `FACTOR ×` the previous
+//! point's — CI uses 2, so a 10× population increase costing more than 2×
+//! the memory fails the build; that is the out-of-core contract. A 10M-UE
+//! point exists behind `--deep-scale` for manual runs — it is I/O-heavy
+//! and deliberately not part of CI.
 
 use bench::{
-    bench_json, check_snapshot_events, measure_reps, run_sequential, run_sharded,
-    run_sharded_observed, ShardPoint,
+    bench_json, check_snapshot_events, measure_reps, measure_scale_point, run_sequential,
+    run_sharded, run_sharded_observed, ShardPoint,
 };
 use cn_fit::{fit, FitConfig, Method};
-use cn_gen::{effective_parallelism, GenConfig};
+use cn_gen::{effective_parallelism, GenConfig, OutOfCoreConfig};
 use cn_trace::{PopulationMix, Timestamp};
 use cn_world::{generate_world, WorldConfig};
 
@@ -53,16 +64,39 @@ const REPS: usize = 5;
 /// A repetition medianing below this is a warning: the workload no longer
 /// outruns timing noise and should be re-sized upward.
 const MIN_WALL_MS: f64 = 500.0;
+/// The scaling axis's fixed exporter knobs: every point chunks the
+/// population 16,384 UEs at a time under a 16 MiB spill budget, so
+/// resident state is bounded by the chunk + budget regardless of how
+/// large the population grows — which is exactly what the RSS gate
+/// checks.
+const SCALE_OCC: OutOfCoreConfig = OutOfCoreConfig {
+    chunk_ues: 16_384,
+    buffer_budget_bytes: 16 << 20,
+    temp_dir: None,
+};
+
+/// A scaling population in the benchmark's fixed 62.5/25/12.5%
+/// phone/car/tablet mix.
+fn scale_mix(total: u32) -> PopulationMix {
+    PopulationMix::new(total * 5 / 8, total / 4, total / 8)
+}
 
 fn main() {
     let mut out = "BENCH_gen.json".to_string();
     let mut gate: Option<f64> = None;
+    let mut rss_gate: Option<f64> = None;
+    let mut deep_scale = false;
     let mut metrics: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--gate" {
             let v = args.next().expect("--gate needs a value");
             gate = Some(v.parse().expect("--gate value must be a number"));
+        } else if a == "--rss-gate" {
+            let v = args.next().expect("--rss-gate needs a value");
+            rss_gate = Some(v.parse().expect("--rss-gate value must be a number"));
+        } else if a == "--deep-scale" {
+            deep_scale = true;
         } else if a == "--metrics" {
             metrics = Some(args.next().expect("--metrics needs a path"));
         } else {
@@ -161,12 +195,40 @@ fn main() {
         instrumented = Some(p);
     }
 
+    // Snapshot the process high-water mark before the scaling axis starts
+    // resetting it: the top-level peak_rss_mb key describes the 20K x 12h
+    // workload above, not the last scaling point.
+    let process_rss = bench::peak_rss_mb();
+
+    // The population-scaling axis: ascending populations through the
+    // out-of-core exporter, one run each, RSS watermark reset per point.
+    // Window lengths shrink as the population grows so every point stays
+    // CI-sized; RSS is a function of the chunk + budget, not the window,
+    // so the shrink does not soften the gate.
+    let mut scale_axis = vec![(20_000u32, 2.0f64), (200_000, 1.0), (2_000_000, 0.25)];
+    if deep_scale {
+        scale_axis.push((10_000_000, 0.1));
+    }
+    let mut scaling = Vec::new();
+    for &(ues, hours) in &scale_axis {
+        eprintln!("scaling point ({ues} UEs x {hours}h, out-of-core) ...");
+        let config = GenConfig::new(scale_mix(ues), Timestamp::at_hour(0, 6), hours, 2023);
+        let s = measure_scale_point(&models, &config, &SCALE_OCC);
+        eprintln!(
+            "  {} events in {:.0} ms ({:.0} events/s), peak RSS {:.1} MiB, {}/{} runs spilled",
+            s.events, s.wall_ms, s.events_per_sec, s.peak_rss_mb, s.spilled_runs, s.runs
+        );
+        scaling.push(s);
+    }
+
     let json = bench_json(
         "20000 UEs x 12h, Method::Ours, seed 2023",
         cores,
         &baseline,
         &points,
         instrumented.as_ref(),
+        &scaling,
+        process_rss,
     );
     std::fs::write(&out, &json).expect("write bench json");
     print!("{json}");
@@ -188,6 +250,29 @@ fn main() {
         eprintln!(
             "gate ok: shards=1 speedup {:.3} >= {min}",
             p1.speedup_vs_baseline
+        );
+    }
+
+    if let Some(factor) = rss_gate {
+        for w in scaling.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.peak_rss_mb > 0.0 && b.peak_rss_mb > a.peak_rss_mb * factor {
+                eprintln!(
+                    "RSS GATE FAILED: {} UEs peaked at {:.1} MiB, more than {factor}x the \
+                     {:.1} MiB peak at {} UEs — resident state is growing with the \
+                     population; the out-of-core contract is broken",
+                    b.ues, b.peak_rss_mb, a.peak_rss_mb, a.ues
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "rss gate ok: every scaling point within {factor}x of its predecessor ({})",
+            scaling
+                .iter()
+                .map(|s| format!("{} UEs: {:.1} MiB", s.ues, s.peak_rss_mb))
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 }

@@ -15,14 +15,19 @@
 //!   ([`ShardPoint`]), each with its own `speedup_vs_baseline`, so a
 //!   1-shard result can never silently masquerade as a parallel one —
 //!   [`bench_json`] refuses to render a file that omits either point or
-//!   whose per-point event counts disagree.
+//!   whose per-point event counts disagree;
+//! * a **population-scaling axis** ([`ScalePoint`]) runs the out-of-core
+//!   exporter at ascending populations with the RSS watermark reset
+//!   between points ([`reset_peak_rss`]), so `BENCH_gen.json` records
+//!   `events_per_sec` *and* `peak_rss_mb` per point — the bounded-memory
+//!   contract is a gated number, not a claim.
 //!
 //! A tiny-population smoke of the same code path runs under `cargo test`
 //! (see `tests/gen_smoke.rs`), so a broken pipeline fails tier-1 rather
 //! than only surfacing at bench time.
 
 use cn_fit::ModelSet;
-use cn_gen::{GenConfig, PopulationStream, ShardedStream};
+use cn_gen::{generate_out_of_core, GenConfig, OutOfCoreConfig, PopulationStream, ShardedStream};
 use cn_obs::{MetricValue, ObsSnapshot, Registry};
 use std::time::Instant;
 
@@ -145,6 +150,96 @@ pub fn peak_rss_mb() -> Option<f64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb / 1024.0)
+}
+
+/// Reset the kernel's peak-RSS watermark (`VmHWM`) to the *current* RSS
+/// by writing `5` to `/proc/self/clear_refs`. The population-scaling axis
+/// measures several ascending workloads in one process; without a reset
+/// between points, every point would inherit the high-water mark of its
+/// largest predecessor and the per-point RSS column would be meaningless.
+/// Returns `false` where the knob is unavailable (non-Linux).
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// One point on the population-scaling axis: the out-of-core exporter run
+/// once at a given population, with throughput and the point's own peak
+/// RSS (see [`reset_peak_rss`]) recorded. The axis exists to demonstrate
+/// the bounded-memory contract — RSS must stay roughly flat as the
+/// population grows 10× per point — so RSS, not wall time, is the gated
+/// column.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Total population generated at this point.
+    pub ues: u32,
+    /// Window length in hours (shrunk as the population grows to keep the
+    /// point CI-sized).
+    pub hours: f64,
+    /// Events exported.
+    pub events: u64,
+    /// Wall-clock time in milliseconds (single run — this axis gates RSS,
+    /// not throughput; the multi-rep medians live in `points`).
+    pub wall_ms: f64,
+    /// Throughput in events per second.
+    pub events_per_sec: f64,
+    /// Peak RSS in MiB observed *during this point* (watermark reset
+    /// before the run), 0.0 where `/proc` is unavailable.
+    pub peak_rss_mb: f64,
+    /// Chunked runs the exporter produced.
+    pub runs: usize,
+    /// Runs that spilled to disk under the buffer budget.
+    pub spilled_runs: usize,
+}
+
+/// An anonymous on-disk sink: created in the temp dir and immediately
+/// unlinked, so the exported bytes land on disk (as a real out-of-core
+/// run's would) without the Vec-backed alternative inflating the very RSS
+/// the scaling axis is measuring — and without leaving files behind.
+fn unlinked_temp_sink() -> std::fs::File {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "cn-bench-export-{}-{}.bin",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .expect("create bench export sink in temp dir");
+    let _ = std::fs::remove_file(&path);
+    file
+}
+
+/// Measure one population-scaling point: reset the RSS watermark, run the
+/// out-of-core exporter once into an unlinked temp-file sink, and record
+/// throughput plus the point's own peak RSS.
+pub fn measure_scale_point(
+    models: &ModelSet,
+    config: &GenConfig,
+    occ: &OutOfCoreConfig,
+) -> ScalePoint {
+    reset_peak_rss();
+    let t0 = Instant::now();
+    let (report, _sink) = generate_out_of_core(models, config, occ, unlinked_temp_sink())
+        .expect("out-of-core export with a healthy sink and temp dir");
+    let secs = t0.elapsed().as_secs_f64();
+    ScalePoint {
+        ues: config.population.total(),
+        hours: config.duration_hours,
+        events: report.events,
+        wall_ms: secs * 1e3,
+        events_per_sec: if secs > 0.0 {
+            report.events as f64 / secs
+        } else {
+            0.0
+        },
+        peak_rss_mb: peak_rss_mb().unwrap_or(0.0),
+        runs: report.runs,
+        spilled_runs: report.spilled_runs,
+    }
 }
 
 /// Drain the sequential population stream — the single-threaded baseline
@@ -275,6 +370,14 @@ fn point_json(p: &ShardPoint) -> String {
     format!("    {}", point_fields(p))
 }
 
+fn scale_point_json(p: &ScalePoint) -> String {
+    format!(
+        "    {{ \"ues\": {}, \"hours\": {:.2}, \"events\": {}, \"events_per_sec\": {:.1}, \"wall_ms\": {:.1}, \"peak_rss_mb\": {:.1}, \"runs\": {}, \"spilled_runs\": {} }}",
+        p.ues, p.hours, p.events, p.events_per_sec, p.wall_ms, p.peak_rss_mb, p.runs,
+        p.spilled_runs,
+    )
+}
+
 /// Render the `BENCH_gen.json` payload. Hand-rolled with a stable key
 /// order so diffs between recorded runs stay readable.
 ///
@@ -290,18 +393,28 @@ fn point_json(p: &ShardPoint) -> String {
 /// * `points` must contain a `shards == 1` entry **and** a
 ///   `shards == cores` entry;
 /// * every point, the baseline, and the `instrumented` point (when
-///   present) must report the same event count.
+///   present) must report the same event count;
+/// * `scaling` points (when present) must be strictly ascending in
+///   population and non-empty in events — a scaling axis that shrinks or
+///   generates nothing proves nothing about memory behavior.
 ///
 /// `instrumented` is the same workload drained with a live `cn-obs`
 /// registry attached ([`run_sharded_observed`]); recording it beside the
 /// uninstrumented points keeps the telemetry overhead budget visible in
 /// the tracked file instead of taking "negligible" on faith.
+///
+/// `process_rss_mb` is the process high-water mark for the top-level
+/// `peak_rss_mb` key; pass a value captured *before* measuring the
+/// scaling axis (whose per-point watermark resets would otherwise erase
+/// the main workload's peak), or `None` to read `/proc` at render time.
 pub fn bench_json(
     workload: &str,
     cores: usize,
     baseline: &RepStats,
     points: &[ShardPoint],
     instrumented: Option<&ShardPoint>,
+    scaling: &[ScalePoint],
+    process_rss_mb: Option<f64>,
 ) -> String {
     let headline = points
         .iter()
@@ -324,14 +437,38 @@ pub fn bench_json(
             "instrumented event count diverged from the sequential baseline"
         );
     }
-    let rss = peak_rss_mb().unwrap_or(0.0);
+    for w in scaling.windows(2) {
+        assert!(
+            w[1].ues > w[0].ues,
+            "scaling points must be strictly ascending in population ({} then {})",
+            w[0].ues,
+            w[1].ues
+        );
+    }
+    for s in scaling {
+        assert!(
+            s.events > 0,
+            "scaling point at {} UEs generated no events",
+            s.ues
+        );
+    }
+    // The caller snapshots the process high-water mark *before* the
+    // scaling axis resets it per point; fall back to reading it now when
+    // no scaling ran.
+    let rss = process_rss_mb.or_else(peak_rss_mb).unwrap_or(0.0);
     let rendered: Vec<String> = points.iter().map(point_json).collect();
+    let scaling_json = if scaling.is_empty() {
+        "[]".to_string()
+    } else {
+        let rows: Vec<String> = scaling.iter().map(scale_point_json).collect();
+        format!("[\n{}\n  ]", rows.join(",\n"))
+    };
     let instrumented_json = match instrumented {
         Some(p) => point_fields(p),
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"single_core\": {single_core},\n  \"events\": {events},\n  \"reps\": {reps},\n  \"shards\": {shards},\n  \"events_per_sec\": {eps:.1},\n  \"wall_ms\": {wall:.1},\n  \"wall_ms_min\": {wall_min:.1},\n  \"peak_rss_mb\": {rss:.1},\n  \"speedup_vs_baseline\": {speedup:.3},\n  \"baseline_single_thread\": {{\n    \"events_per_sec\": {beps:.1},\n    \"wall_ms_median\": {bwall:.1},\n    \"wall_ms_min\": {bwall_min:.1},\n    \"events\": {bevents}\n  }},\n  \"instrumented\": {instrumented_json},\n  \"points\": [\n{points_json}\n  ]\n}}\n",
+        "{{\n  \"workload\": \"{workload}\",\n  \"cores\": {cores},\n  \"single_core\": {single_core},\n  \"events\": {events},\n  \"reps\": {reps},\n  \"shards\": {shards},\n  \"events_per_sec\": {eps:.1},\n  \"wall_ms\": {wall:.1},\n  \"wall_ms_min\": {wall_min:.1},\n  \"peak_rss_mb\": {rss:.1},\n  \"speedup_vs_baseline\": {speedup:.3},\n  \"baseline_single_thread\": {{\n    \"events_per_sec\": {beps:.1},\n    \"wall_ms_median\": {bwall:.1},\n    \"wall_ms_min\": {bwall_min:.1},\n    \"events\": {bevents}\n  }},\n  \"instrumented\": {instrumented_json},\n  \"points\": [\n{points_json}\n  ],\n  \"scaling\": {scaling_json}\n}}\n",
         single_core = cores == 1,
         events = baseline.events,
         reps = baseline.reps,
@@ -412,7 +549,7 @@ mod tests {
         let baseline = stats(10, &[1.0, 2.0, 3.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0, 2.0, 2.0]), &baseline);
         let p4 = ShardPoint::against(4, stats(10, &[1.0, 1.0, 1.0]), &baseline);
-        let json = bench_json("test", 4, &baseline, &[p1, p4], None);
+        let json = bench_json("test", 4, &baseline, &[p1, p4], None, &[], None);
         for key in [
             "\"workload\"",
             "\"cores\": 4",
@@ -441,11 +578,13 @@ mod tests {
         let baseline = stats(10, &[2.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         // cores = 4 but only a 1-shard point measured: refuse.
-        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1], None));
+        let r =
+            std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1], None, &[], None));
         assert!(r.is_err(), "shards=1 must not pose as a 4-core result");
         // A missing 1-shard point is refused too.
         let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
-        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p4], None));
+        let r =
+            std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p4], None, &[], None));
         assert!(r.is_err(), "the shards=1 point is mandatory");
     }
 
@@ -454,13 +593,15 @@ mod tests {
         let baseline = stats(10, &[2.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         let bad = ShardPoint::against(4, stats(11, &[1.0]), &baseline);
-        let r = std::panic::catch_unwind(|| bench_json("test", 4, &baseline, &[p1, bad], None));
+        let r = std::panic::catch_unwind(|| {
+            bench_json("test", 4, &baseline, &[p1, bad], None, &[], None)
+        });
         assert!(r.is_err(), "diverging event counts must be refused");
         // The instrumented point is held to the same standard.
         let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
         let drifted = ShardPoint::against(4, stats(12, &[1.5]), &baseline);
         let r = std::panic::catch_unwind(|| {
-            bench_json("test", 4, &baseline, &[p1, p4], Some(&drifted))
+            bench_json("test", 4, &baseline, &[p1, p4], Some(&drifted), &[], None)
         });
         assert!(r.is_err(), "a drifting instrumented count must be refused");
     }
@@ -471,12 +612,12 @@ mod tests {
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
         let observed = ShardPoint::against(4, stats(10, &[1.2]), &baseline);
-        let json = bench_json("test", 4, &baseline, &[p1, p4], Some(&observed));
+        let json = bench_json("test", 4, &baseline, &[p1, p4], Some(&observed), &[], None);
         assert!(
             json.contains("\"instrumented\": { \"shards\": 4,"),
             "{json}"
         );
-        let json = bench_json("test", 4, &baseline, &[p1, p4], None);
+        let json = bench_json("test", 4, &baseline, &[p1, p4], None, &[], None);
         assert!(json.contains("\"instrumented\": null"), "{json}");
     }
 
@@ -554,8 +695,68 @@ mod tests {
         let baseline = stats(10, &[2.0]);
         let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
         let p2 = ShardPoint::against(2, stats(10, &[3.0]), &baseline);
-        let json = bench_json("test", 1, &baseline, &[p1, p2], None);
+        let json = bench_json("test", 1, &baseline, &[p1, p2], None, &[], None);
         assert!(json.contains("\"single_core\": true"), "{json}");
         assert!(json.contains("\"shards\": 1,"), "{json}");
+        // An unmeasured scaling axis renders as an empty array, not a lie.
+        assert!(json.contains("\"scaling\": []"), "{json}");
+    }
+
+    fn scale(ues: u32, events: u64, rss: f64) -> ScalePoint {
+        ScalePoint {
+            ues,
+            hours: 1.0,
+            events,
+            wall_ms: 10.0,
+            events_per_sec: events as f64 * 100.0,
+            peak_rss_mb: rss,
+            runs: 2,
+            spilled_runs: 1,
+        }
+    }
+
+    #[test]
+    fn json_records_the_scaling_axis() {
+        let baseline = stats(10, &[2.0]);
+        let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
+        let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
+        let pts = [scale(20_000, 500, 40.0), scale(200_000, 5_000, 55.0)];
+        let json = bench_json("test", 4, &baseline, &[p1, p4], None, &pts, None);
+        for key in [
+            "\"scaling\": [",
+            "{ \"ues\": 20000,",
+            "{ \"ues\": 200000,",
+            "\"peak_rss_mb\": 55.0",
+            "\"spilled_runs\": 1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_refuses_a_meaningless_scaling_axis() {
+        let baseline = stats(10, &[2.0]);
+        let p1 = ShardPoint::against(1, stats(10, &[2.0]), &baseline);
+        let p4 = ShardPoint::against(4, stats(10, &[1.0]), &baseline);
+        // Non-ascending populations: the "10× per point" claim is void.
+        let descending = [scale(200_000, 5_000, 55.0), scale(20_000, 500, 40.0)];
+        let r = std::panic::catch_unwind(|| {
+            bench_json("test", 4, &baseline, &[p1, p4], None, &descending, None)
+        });
+        assert!(r.is_err(), "descending scaling points must be refused");
+        // An empty workload proves nothing about memory behavior.
+        let empty = [scale(20_000, 0, 40.0)];
+        let r = std::panic::catch_unwind(|| {
+            bench_json("test", 4, &baseline, &[p1, p4], None, &empty, None)
+        });
+        assert!(r.is_err(), "a zero-event scaling point must be refused");
+    }
+
+    #[test]
+    fn rss_watermark_resets_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(reset_peak_rss(), "clear_refs writable on Linux");
+            assert!(peak_rss_mb().expect("VmHWM present") > 0.0);
+        }
     }
 }

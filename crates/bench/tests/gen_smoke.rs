@@ -4,11 +4,11 @@
 //! `cargo test` instead of silently corrupting the recorded trajectory.
 
 use bench::{
-    bench_json, check_snapshot_events, measure_reps, run_sequential, run_sharded,
-    run_sharded_observed, ShardPoint,
+    bench_json, check_snapshot_events, measure_reps, measure_scale_point, run_sequential,
+    run_sharded, run_sharded_observed, ShardPoint,
 };
 use cn_fit::{fit, FitConfig, Method};
-use cn_gen::{generate, GenConfig};
+use cn_gen::{generate, GenConfig, OutOfCoreConfig};
 use cn_obs::Registry;
 use cn_trace::{PopulationMix, Timestamp};
 use cn_world::{generate_world, WorldConfig};
@@ -61,9 +61,38 @@ fn bench_pipeline_smoke() {
     check_snapshot_events(&snapshot, observed.stats.events)
         .expect("telemetry ledger must balance against the stream");
 
+    // The scaling axis's code path at smoke size: the out-of-core
+    // exporter through `measure_scale_point`, twice with ascending
+    // populations, exactly as `gen_bench` measures it. A zero spill
+    // budget forces the spill/merge machinery through the smoke too.
+    let occ = OutOfCoreConfig {
+        chunk_ues: 8,
+        buffer_budget_bytes: 0,
+        temp_dir: None,
+    };
+    let s_small = measure_scale_point(&models, &config, &occ);
+    assert_eq!(s_small.events, baseline.events, "scaling point event count");
+    assert!(s_small.spilled_runs > 0, "zero budget must spill");
+    let bigger = GenConfig::new(
+        cn_trace::PopulationMix::new(40, 16, 10),
+        Timestamp::at_hour(0, 10),
+        1.0,
+        11,
+    );
+    let s_big = measure_scale_point(&models, &bigger, &occ);
+    assert!(s_big.ues > s_small.ues);
+
     // `bench_json` itself re-asserts both shard points and equal event
     // counts — rendering succeeding is part of the smoke.
-    let json = bench_json("smoke", 3, &baseline, &[p1, p3], Some(&observed));
+    let json = bench_json(
+        "smoke",
+        3,
+        &baseline,
+        &[p1, p3],
+        Some(&observed),
+        &[s_small, s_big],
+        None,
+    );
     for key in [
         "\"events_per_sec\"",
         "\"peak_rss_mb\"",
@@ -77,6 +106,8 @@ fn bench_pipeline_smoke() {
         "\"instrumented\": { \"shards\": 3,",
         "{ \"shards\": 1,",
         "{ \"shards\": 3,",
+        "\"scaling\": [",
+        "\"spilled_runs\"",
     ] {
         assert!(json.contains(key), "bench json missing {key}: {json}");
     }
@@ -91,7 +122,8 @@ fn bench_pipeline_smoke() {
 
     // A file whose headline poses as parallel without the cores point
     // measured must be refused outright.
-    let refused = std::panic::catch_unwind(|| bench_json("smoke", 3, &baseline, &[p1], None));
+    let refused =
+        std::panic::catch_unwind(|| bench_json("smoke", 3, &baseline, &[p1], None, &[], None));
     assert!(
         refused.is_err(),
         "bench_json accepted a headline without the shards == cores point"

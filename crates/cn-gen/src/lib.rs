@@ -28,13 +28,17 @@
 //!
 //! * [`generate`] — materialize the whole trace (parallel batch);
 //! * [`PopulationStream`] — sequential bounded-memory streaming via a
-//!   loser-tree k-way merge;
+//!   calendar-queue k-way merge over packed integer keys;
 //! * [`ShardedStream`] — multi-core streaming: disjoint UE shards on
 //!   worker threads, bounded block channels, and a block-draining S-way
 //!   merge. Execution is *adaptive*: at one effective shard (including
 //!   every single-core box) it runs the sequential merge inline, spawning
 //!   no threads, so the sharded API is never slower than
 //!   [`PopulationStream`].
+//! * [`generate_out_of_core`] — population-scale binary export under a
+//!   bounded memory budget: UE-range chunks emit arena-encoded sorted
+//!   runs that spill to temp files past the budget and k-way merge back
+//!   into the sink as verbatim byte blocks (see [`outofcore`]).
 //!
 //! All "0 = all cores" knobs resolve through [`effective_parallelism`].
 //!
@@ -50,12 +54,16 @@
 
 pub mod engine;
 pub mod fault;
+pub mod outofcore;
 pub mod per_ue;
+pub mod pool;
 pub mod shard;
 pub mod stream;
 
 pub use engine::{effective_parallelism, generate, GenConfig, HourSemantics};
 pub use fault::FaultPlan;
+pub use outofcore::{generate_out_of_core, OutOfCoreConfig, OutOfCoreReport};
 pub use per_ue::{generate_ue, UeEventIter};
+pub use pool::UePool;
 pub use shard::{ShardedStream, StreamError, StreamStats, WorkerOutcome};
 pub use stream::PopulationStream;

@@ -5,17 +5,17 @@
 //! `S` disjoint UE shards (striped — UE `i` belongs to shard `i mod S` —
 //! so the device-type mix, and with it the per-UE event rate, balances
 //! across workers). Each shard runs on its own worker thread, merging its
-//! live [`UeEventIter`]s with a [`LoserTree`] into a time-sorted run that
-//! is shipped to the consumer as fixed-size record blocks over a bounded
-//! SPSC channel. The consumer performs the final S-way merge over the
-//! shard runs.
+//! live per-UE generators through a compact struct-of-arrays [`UePool`]
+//! (see [`crate::pool`]) into a time-sorted run that is shipped to the
+//! consumer as fixed-size record blocks over a bounded SPSC channel. The
+//! consumer performs the final S-way merge over the shard runs.
 //!
 //! ### Adaptive execution
 //!
 //! A single shard *is* the sequential merge, so `S == 1` (an explicit
 //! `with_shards(.., 1)`, a one-UE population, or [`ShardedStream::new`] on
 //! a single-core box — [`crate::effective_parallelism`] decides) runs the
-//! [`PopulationStream`] loser tree **inline on the caller's thread**: no
+//! [`PopulationStream`] calendar queue **inline on the caller's thread**: no
 //! worker threads, no channels, no model clone. The sharded API is
 //! therefore never slower than the sequential stream; threads and
 //! channels are only paid for when there is parallelism to buy with them.
@@ -102,17 +102,19 @@
 //! `cn_gen_merge_events_total` — the invariant `gen_bench --metrics`
 //! re-checks on every CI run; when a run fails instead, the
 //! `cn_gen_worker_exit` ledger says which workers ended how. All counting
-//! is per block or per run, so the per-record hot paths are untouched;
-//! with a disabled registry the handles are no-ops and the unobserved
-//! constructors delegate here with exactly that.
+//! is per block (workers) or batched locally per run and flushed in
+//! [`BLOCK_RECORDS`]-scale windows (consumer merge — see `MergeObs`),
+//! so the per-record hot paths touch no shared memory; with a disabled
+//! registry the handles are no-ops and the unobserved constructors
+//! delegate here with exactly that.
 
-use crate::engine::{effective_parallelism, ue_stream_seed, GenConfig};
+use crate::engine::{effective_parallelism, GenConfig};
 use crate::fault::{FaultHook, FaultPlan, NoFault};
-use crate::per_ue::UeEventIter;
+use crate::pool::UePool;
 use crate::stream::PopulationStream;
 use cn_fit::ModelSet;
-use cn_obs::{Counter, Histogram, Registry};
-use cn_trace::{LoserTree, TraceRecord, UeId};
+use cn_obs::{Counter, Histogram, HistogramSnapshot, Registry};
+use cn_trace::{LoserTree, TraceRecord};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, OnceLock};
@@ -174,6 +176,20 @@ pub enum StreamError {
         /// The worker's panic payload.
         payload: String,
     },
+    /// A spill or export I/O operation of the out-of-core pipeline failed
+    /// ([`crate::generate_out_of_core`]). The same containment contract as
+    /// a worker panic applies: the failure is surfaced as this typed error
+    /// and the export sink is left in the finish-or-recover state — never
+    /// posing as a complete trace.
+    Io {
+        /// Pipeline stage that failed: `spill-create`, `spill-write`,
+        /// `spill-read`, `export-header`, `export-write`, or
+        /// `export-finish`.
+        stage: &'static str,
+        /// The underlying I/O error, stringified (keeps the error `Clone`
+        /// and comparable for tests).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -181,6 +197,9 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::WorkerPanicked { shard, payload } => {
                 write!(f, "shard {shard} worker panicked: {payload}")
+            }
+            StreamError::Io { stage, message } => {
+                write!(f, "out-of-core {stage} I/O failure: {message}")
             }
         }
     }
@@ -304,7 +323,23 @@ enum Inner<'m> {
     Parallel(ParallelStream),
 }
 
+/// Merged events between flushes of the locally batched merge telemetry.
+/// Small enough that an abandoned snapshot read misses little, large
+/// enough that a fine-grained interleave (runs of 1–2 records) amortizes
+/// its shared-counter traffic over tens of thousands of records.
+const OBS_FLUSH_EVENTS: u64 = (BLOCK_RECORDS * 16) as u64;
+
 /// Consumer-side merge telemetry (no-op handles when unobserved).
+///
+/// The shared handles are **never touched per run**: `begin_run`
+/// accumulates into the plain local fields and [`MergeObs::flush`] folds
+/// them into the registry every [`OBS_FLUSH_EVENTS`] merged events, at
+/// exhaustion, on poisoning, and at shutdown. A fine-grained shard
+/// interleave degenerates to runs of a record or two, so per-run atomic
+/// updates were measurably on the hot path (the BENCH_gen.json
+/// `instrumented` point sat below the 0.95 gate); batching restores the
+/// invariant that instrumentation costs O(events / flush-window), not
+/// O(runs).
 struct MergeObs {
     /// `cn_gen_merge_events_total` — records handed to the consumer.
     events: Counter,
@@ -312,13 +347,53 @@ struct MergeObs {
     /// runs mean the merge is amortizing well, a spike of 1s means the
     /// shards are interleaving record-by-record.
     run_len: Histogram,
+    /// Whether a live registry is attached (skip all local bookkeeping
+    /// otherwise, keeping the unobserved path untouched).
+    observed: bool,
+    /// Locally accumulated event count since the last flush.
+    pending_events: u64,
+    /// Locally accumulated run-length observations since the last flush.
+    pending_runs: HistogramSnapshot,
 }
 
 impl MergeObs {
     fn register(registry: &Registry) -> MergeObs {
+        let events = registry.counter("cn_gen_merge_events_total");
+        let observed = events.is_enabled();
         MergeObs {
-            events: registry.counter("cn_gen_merge_events_total"),
+            events,
             run_len: registry.histogram("cn_gen_merge_run_len"),
+            observed,
+            pending_events: 0,
+            pending_runs: HistogramSnapshot::new(),
+        }
+    }
+
+    /// Account one block-drained run locally (no shared-memory traffic);
+    /// flush when the window fills.
+    #[inline]
+    fn on_run(&mut self, len: u64) {
+        if !self.observed {
+            return;
+        }
+        self.pending_events += len;
+        self.pending_runs.record(len);
+        if self.pending_events >= OBS_FLUSH_EVENTS {
+            self.flush();
+        }
+    }
+
+    /// Fold the locally batched counts into the shared registry handles.
+    fn flush(&mut self) {
+        if !self.observed {
+            return;
+        }
+        if self.pending_events > 0 {
+            self.events.add(std::mem::take(&mut self.pending_events));
+        }
+        if self.pending_runs.count > 0 {
+            self.run_len.merge_snapshot(&self.pending_runs);
+            self.pending_runs = HistogramSnapshot::new();
         }
     }
 }
@@ -753,10 +828,10 @@ impl ParallelStream {
             }
         };
         debug_assert!(len >= 1, "the winner's own head precedes the bound");
-        // Telemetry is per *run*, so the merge hot path stays one
-        // comparison per record even when observed.
-        self.obs.events.add(len as u64);
-        self.obs.run_len.record(len as u64);
+        // Telemetry is accumulated locally per *run* and flushed in large
+        // windows (see [`MergeObs`]), so the merge hot path touches no
+        // shared memory even when observed.
+        self.obs.on_run(len as u64);
         self.run = w;
         self.run_len = len;
         true
@@ -767,6 +842,7 @@ impl ParallelStream {
             return Err(e.clone());
         }
         if self.run_len == 0 && !self.begin_run() {
+            self.obs.flush();
             return Ok(None);
         }
         let cursor = &mut self.shards[self.run];
@@ -798,6 +874,10 @@ impl ParallelStream {
     /// this never deadlocks.
     fn shutdown(&mut self) -> &[WorkerOutcome] {
         if self.collected.is_none() {
+            // Flush the batched merge telemetry so an abandoned, early-
+            // finished, or poisoned stream still accounts for what it
+            // actually emitted.
+            self.obs.flush();
             // Drop the receivers first: any worker blocked on a full
             // channel fails its send and exits.
             self.shards.clear();
@@ -946,31 +1026,13 @@ fn shard_worker<F: FaultHook>(
     obs: &WorkerObs,
     fault: &mut F,
 ) -> WorkerRun {
-    let end = config.end();
     let total = config.population.total();
-    let mut generators: Vec<UeEventIter<'_>> = (shard as u32..total)
-        .step_by(shards)
-        .map(|index| {
-            let device = config.device_of(index);
-            UeEventIter::with_semantics(
-                models.device(device),
-                models.method,
-                UeId(index),
-                config.start,
-                end,
-                ue_stream_seed(config.seed, index),
-                config.semantics,
-            )
-        })
-        .collect();
-    let heads: Vec<Option<TraceRecord>> = generators.iter_mut().map(Iterator::next).collect();
-    let mut tree = LoserTree::new(heads);
+    let mut pool = UePool::new(models, config, (shard as u32..total).step_by(shards));
     let mut block = Vec::with_capacity(BLOCK_RECORDS);
     let mut shipped = 0u64;
-    while let Some(w) = tree.winner() {
+    while pool.live() > 0 {
         fault.on_record();
-        let next = generators[w].next();
-        let rec = tree.pop_and_replace(next).expect("winner has a head");
+        let rec = pool.next_record().expect("live pool yields a record");
         block.push(rec);
         if block.len() == BLOCK_RECORDS {
             let full = std::mem::replace(&mut block, Vec::with_capacity(BLOCK_RECORDS));
@@ -1283,7 +1345,7 @@ mod tests {
 
     #[test]
     fn run_prefix_respects_order_and_ties() {
-        use cn_trace::{DeviceType, EventType};
+        use cn_trace::{DeviceType, EventType, Timestamp, UeId};
         let rec = |ms: u64| {
             TraceRecord::new(
                 Timestamp::from_millis(ms),

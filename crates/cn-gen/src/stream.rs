@@ -6,12 +6,14 @@
 //! O(total events): a week of 380K UEs (hundreds of millions of events)
 //! can be written straight to disk without ever materializing the trace.
 //!
-//! The merge engine is a [`LoserTree`] (tournament tree): emitting one
-//! record costs a single replace-top pass of ⌈log₂K⌉ comparisons and no
-//! allocation, instead of a binary-heap pop *and* push. For multi-core
-//! throughput see [`crate::shard::ShardedStream`], which runs disjoint
-//! UE shards on worker threads and produces the *same* byte-identical
-//! stream.
+//! The merge engine is the struct-of-arrays [`UePool`]
+//! (see [`crate::pool`]): a calendar queue over packed `(t_ms, ue)`
+//! next-event `u64` keys, bucketed by coarse time with the draining
+//! bucket held as a small binary heap, so emitting one record costs a few
+//! dense integer compares plus a bucket push — no pointer chase, no
+//! allocation. For multi-core throughput see
+//! [`crate::shard::ShardedStream`], which runs disjoint UE shards on
+//! worker threads and produces the *same* byte-identical stream.
 //!
 //! Streamed output is *per-UE* identical to the batch API (both drive the
 //! same iterator with the same seed), and globally it is the k-way merge
@@ -19,45 +21,27 @@
 //! order for the same configuration.
 
 use crate::engine::GenConfig;
-use crate::per_ue::UeEventIter;
+use crate::pool::UePool;
 use cn_fit::ModelSet;
-use cn_trace::{LoserTree, TraceRecord, UeId};
+use cn_trace::TraceRecord;
 
 /// A time-ordered event stream over a whole synthesized population.
 pub struct PopulationStream<'m> {
-    tree: LoserTree<TraceRecord>,
-    generators: Vec<UeEventIter<'m>>,
+    pool: UePool<'m>,
 }
 
 impl<'m> PopulationStream<'m> {
     /// Create the stream for a generation configuration (same seeds and
     /// semantics as [`crate::generate`]).
     pub fn new(models: &'m ModelSet, config: &GenConfig) -> PopulationStream<'m> {
-        let end = config.end();
-        let mut generators: Vec<UeEventIter<'m>> = (0..config.population.total())
-            .map(|index| {
-                let device = config.device_of(index);
-                UeEventIter::with_semantics(
-                    models.device(device),
-                    models.method,
-                    UeId(index),
-                    config.start,
-                    end,
-                    crate::engine::ue_stream_seed(config.seed, index),
-                    config.semantics,
-                )
-            })
-            .collect();
-        let heads: Vec<Option<TraceRecord>> = generators.iter_mut().map(Iterator::next).collect();
         PopulationStream {
-            tree: LoserTree::new(heads),
-            generators,
+            pool: UePool::new(models, config, 0..config.population.total()),
         }
     }
 
     /// Number of UEs that still have events pending.
     pub fn live_ues(&self) -> usize {
-        self.tree.live()
+        self.pool.live()
     }
 }
 
@@ -65,9 +49,7 @@ impl Iterator for PopulationStream<'_> {
     type Item = TraceRecord;
 
     fn next(&mut self) -> Option<TraceRecord> {
-        let w = self.tree.winner()?;
-        let next = self.generators[w].next();
-        self.tree.pop_and_replace(next)
+        self.pool.next_record()
     }
 }
 

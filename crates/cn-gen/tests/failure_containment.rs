@@ -77,7 +77,9 @@ fn mid_stream_panic_becomes_typed_error_never_a_short_trace() {
         ShardedStream::with_shards_faulted(&models, &config, 2, &Registry::disabled(), &plan);
     let (prefix, result) = drain(&mut stream);
     let err = result.expect_err("an injected panic must surface as a StreamError");
-    let StreamError::WorkerPanicked { shard, payload } = &err;
+    let StreamError::WorkerPanicked { shard, payload } = &err else {
+        panic!("expected WorkerPanicked, got {err}");
+    };
     assert_eq!(*shard, 1, "the error names the faulted shard");
     assert!(
         payload.contains("injected fault"),
@@ -109,7 +111,9 @@ fn spawn_time_panic_poisons_before_any_record() {
             "no record may precede a spawn-time fault"
         );
         let err = result.expect_err("spawn-time panic must be typed");
-        let StreamError::WorkerPanicked { shard: s, .. } = &err;
+        let StreamError::WorkerPanicked { shard: s, .. } = &err else {
+            panic!("expected WorkerPanicked, got {err}");
+        };
         assert_eq!(*s, shard);
     }
 }
@@ -128,7 +132,9 @@ fn panic_in_an_unneeded_shard_still_fails_finish() {
     let err = stream
         .finish()
         .expect_err("a panicked worker is an error even if its records were never pulled");
-    let StreamError::WorkerPanicked { shard, .. } = &err;
+    let StreamError::WorkerPanicked { shard, .. } = &err else {
+        panic!("expected WorkerPanicked, got {err}");
+    };
     assert_eq!(*shard, 2);
 }
 
@@ -149,7 +155,9 @@ fn iterator_fuses_and_poisons_instead_of_ending_cleanly() {
     let err = stream
         .error()
         .expect("iterator end must leave the error readable");
-    let StreamError::WorkerPanicked { shard, .. } = err;
+    let StreamError::WorkerPanicked { shard, .. } = err else {
+        panic!("expected WorkerPanicked, got {err}");
+    };
     assert_eq!(*shard, 0);
     assert_eq!(stream.next(), None, "poisoned stream stays fused");
 }

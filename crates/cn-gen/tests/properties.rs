@@ -2,11 +2,12 @@
 //! exactly batch, for arbitrary seeds and window placements.
 
 use cn_fit::{fit, FitConfig, Method, ModelSet};
-use cn_gen::{generate, GenConfig, PopulationStream};
+use cn_gen::{generate, generate_out_of_core, GenConfig, OutOfCoreConfig, PopulationStream};
 use cn_statemachine::replay_ue;
 use cn_trace::{PopulationMix, Timestamp, Trace};
 use cn_world::{generate_world, WorldConfig};
 use proptest::prelude::*;
+use std::io::Cursor;
 use std::sync::OnceLock;
 
 fn models(method: Method) -> &'static ModelSet {
@@ -55,6 +56,34 @@ proptest! {
         let batch = generate(set, &config);
         let streamed: Trace = PopulationStream::new(set, &config).collect();
         prop_assert_eq!(batch, streamed);
+    }
+
+    /// Out-of-core export is byte-identical to the in-memory batch path
+    /// for arbitrary chunk sizes and spill budgets — including budgets
+    /// small enough to spill every run and chunk sizes down to one UE.
+    /// Spilling changes *where* bytes wait, never what is written.
+    #[test]
+    fn spilled_export_is_byte_identical_to_in_memory(
+        config in arb_config(),
+        chunk_ues in 1u32..40,
+        // 0 forces every run to disk; small budgets spill a subset; the
+        // cap keeps everything resident.
+        budget in prop_oneof![Just(0usize), 1usize..32_768, Just(usize::MAX)],
+    ) {
+        let set = models(Method::Ours);
+        let expect = cn_trace::io::to_binary(&generate(set, &config));
+        let occ = OutOfCoreConfig { chunk_ues, buffer_budget_bytes: budget, temp_dir: None };
+        let (report, sink) =
+            generate_out_of_core(set, &config, &occ, Cursor::new(Vec::new()))
+                .expect("healthy sink and temp dir");
+        prop_assert_eq!(sink.into_inner(), expect, "chunk {} budget {}", chunk_ues, budget);
+        prop_assert_eq!(
+            report.runs,
+            (config.population.total() as usize).div_ceil(chunk_ues as usize)
+        );
+        if budget == usize::MAX {
+            prop_assert_eq!(report.spilled_runs, 0);
+        }
     }
 
     /// All events respect the window and the device layout, for both

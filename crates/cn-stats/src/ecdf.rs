@@ -67,10 +67,63 @@ impl Ecdf {
         self.samples.iter().sum::<f64>() / self.samples.len() as f64
     }
 
+    /// Number of samples ≤ `x` — the counting core behind [`Ecdf::cdf`].
+    ///
+    /// Inlined with a fast path for the single-sample ECDF: degenerate
+    /// fitted models (one observed sojourn in a cluster-hour) are common
+    /// enough that they should not pay the binary-search setup.
+    #[inline]
+    pub fn count_le(&self, x: f64) -> usize {
+        if self.samples.len() == 1 {
+            return usize::from(self.samples[0] <= x);
+        }
+        self.samples.partition_point(|&s| s <= x)
+    }
+
+    /// Number of samples strictly less than `x` (the left-limit core
+    /// behind [`Ecdf::cdf`]'s step structure), with the same
+    /// single-sample fast path as [`Ecdf::count_le`].
+    #[inline]
+    pub fn count_lt(&self, x: f64) -> usize {
+        if self.samples.len() == 1 {
+            return usize::from(self.samples[0] < x);
+        }
+        self.samples.partition_point(|&s| s < x)
+    }
+
     /// Empirical CDF: fraction of samples ≤ `x`.
+    #[inline]
     pub fn cdf(&self, x: f64) -> f64 {
-        let n = self.samples.partition_point(|&s| s <= x);
-        n as f64 / self.samples.len() as f64
+        self.count_le(x) as f64 / self.samples.len() as f64
+    }
+
+    /// Evaluate the CDF at many points in one merge-style sweep.
+    ///
+    /// Sorts the query points once and resolves every quantile count by
+    /// advancing a single cursor over the samples — O((n + m) + m log m)
+    /// instead of m independent O(log n) binary searches, and the sample
+    /// array is walked sequentially (cache-friendly) rather than probed
+    /// at random. Results are returned in the *input* order of `xs`.
+    pub fn cdf_batch(&self, xs: &[f64]) -> Vec<f64> {
+        let n = self.samples.len() as f64;
+        let mut order: Vec<u32> = (0..xs.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| xs[a as usize].total_cmp(&xs[b as usize]));
+        let mut out = vec![0.0; xs.len()];
+        let mut cursor = 0usize;
+        for idx in order {
+            let x = xs[idx as usize];
+            while cursor < self.samples.len() && self.samples[cursor] <= x {
+                cursor += 1;
+            }
+            out[idx as usize] = cursor as f64 / n;
+        }
+        out
+    }
+
+    /// Empirical quantiles for many probability levels at once (each as
+    /// [`Ecdf::quantile`]), returned in input order.
+    pub fn quantile_batch(&self, ps: &[f64]) -> Vec<f64> {
+        ps.iter().map(|&p| self.quantile(p)).collect()
     }
 
     /// Empirical quantile for `p ∈ [0, 1]` (inverse CDF, lower
@@ -87,9 +140,27 @@ impl Ecdf {
 
     /// Draw one value by inverse-transform sampling (a uniformly random
     /// observed sample — the paper's generator "follows the CDF", §7).
+    ///
+    /// **RNG contract:** consumes exactly one draw. The generator's
+    /// per-event sampling (`cn-gen`'s `sample_gap` and the state-machine
+    /// sojourns) relies on this draw-for-draw stability — reordering or
+    /// batching draws *within one RNG stream* would shift every
+    /// subsequent event and break the pinned golden traces. Batch
+    /// resolution is therefore only offered where the caller already
+    /// holds all draws ([`Ecdf::sample_batch`]).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let idx = rng.gen_range(0..self.samples.len());
         self.samples[idx]
+    }
+
+    /// Draw `k` values by inverse-transform sampling in one call.
+    ///
+    /// Consumes exactly `k` draws in the same order as `k` successive
+    /// [`Ecdf::sample`] calls — the returned vector is element-for-element
+    /// identical, so callers can batch without perturbing the RNG stream.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<f64> {
+        let n = self.samples.len();
+        (0..k).map(|_| self.samples[rng.gen_range(0..n)]).collect()
     }
 
     /// Draw one value by *smoothed* inverse-transform sampling: linear
@@ -110,20 +181,34 @@ impl Ecdf {
     /// Maximum vertical distance between this ECDF and `other`
     /// (the two-sample Kolmogorov–Smirnov statistic; the paper's
     /// "maximum y-distance of the CDF", §8.1.2).
+    ///
+    /// A single merge sweep over both sorted sample arrays: at every
+    /// distinct step location the sweep counts give both CDF values
+    /// directly, so the statistic costs O(n + m) instead of the
+    /// O((n + m) log(nm)) of evaluating two binary searches per step.
+    /// Left limits need no separate pass — the value just below a step
+    /// equals the value at the previous step (or 0 before the first),
+    /// which the sweep has already compared.
     pub fn max_y_distance(&self, other: &Ecdf) -> f64 {
+        let a = &self.samples;
+        let b = &other.samples;
+        let (n, m) = (a.len() as f64, b.len() as f64);
+        let (mut i, mut j) = (0usize, 0usize);
         let mut d: f64 = 0.0;
-        for &x in &self.samples {
-            d = d.max((self.cdf(x) - other.cdf(x)).abs());
-            // Also check just below x (left limit of the step).
-            let eps_cdf_self = self.cdf_strictly_below(x);
-            let eps_cdf_other = other.cdf_strictly_below(x);
-            d = d.max((eps_cdf_self - eps_cdf_other).abs());
-        }
-        for &x in &other.samples {
-            d = d.max((self.cdf(x) - other.cdf(x)).abs());
-            let eps_cdf_self = self.cdf_strictly_below(x);
-            let eps_cdf_other = other.cdf_strictly_below(x);
-            d = d.max((eps_cdf_self - eps_cdf_other).abs());
+        while i < a.len() || j < b.len() {
+            let x = match (a.get(i), b.get(j)) {
+                (Some(&xa), Some(&xb)) => xa.min(xb),
+                (Some(&xa), None) => xa,
+                (None, Some(&xb)) => xb,
+                (None, None) => unreachable!("loop guard"),
+            };
+            while i < a.len() && a[i] == x {
+                i += 1;
+            }
+            while j < b.len() && b[j] == x {
+                j += 1;
+            }
+            d = d.max((i as f64 / n - j as f64 / m).abs());
         }
         d
     }
@@ -140,12 +225,6 @@ impl Ecdf {
                 (self.quantile(p), other.quantile(p))
             })
             .collect()
-    }
-
-    /// Fraction of samples strictly less than `x` (left limit of the CDF).
-    fn cdf_strictly_below(&self, x: f64) -> f64 {
-        let n = self.samples.partition_point(|&s| s < x);
-        n as f64 / self.samples.len() as f64
     }
 }
 
@@ -237,5 +316,87 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: Ecdf = serde_json::from_str(&json).unwrap();
         assert_eq!(e, back);
+    }
+
+    #[test]
+    fn counts_match_linear_scan() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        for x in [0.0, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0] {
+            assert_eq!(
+                e.count_le(x),
+                e.samples().iter().filter(|&&s| s <= x).count()
+            );
+            assert_eq!(
+                e.count_lt(x),
+                e.samples().iter().filter(|&&s| s < x).count()
+            );
+        }
+        // The single-sample fast path agrees with the general path.
+        let one = Ecdf::new(vec![3.0]).unwrap();
+        assert_eq!((one.count_le(2.9), one.count_le(3.0)), (0, 1));
+        assert_eq!((one.count_lt(3.0), one.count_lt(3.1)), (0, 1));
+        assert_eq!(one.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn sample_batch_is_draw_identical_to_sequential_samples() {
+        let e = Ecdf::new((0..97).map(f64::from).collect()).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let batch = e.sample_batch(&mut a, 33);
+        let seq: Vec<f64> = (0..33).map(|_| e.sample(&mut b)).collect();
+        assert_eq!(batch, seq);
+        // The RNG streams stay aligned after the batch, too.
+        assert_eq!(e.sample(&mut a), e.sample(&mut b));
+    }
+
+    #[test]
+    fn quantile_batch_matches_pointwise() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]).unwrap();
+        let ps = [0.0, 0.25, 0.26, 0.5, 0.99, 1.0];
+        assert_eq!(
+            e.quantile_batch(&ps),
+            ps.iter().map(|&p| e.quantile(p)).collect::<Vec<_>>()
+        );
+    }
+
+    mod sweep_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn samples() -> impl Strategy<Value = Vec<f64>> {
+            prop::collection::vec(0..200u32, 1..40)
+                .prop_map(|v| v.into_iter().map(|x| f64::from(x) / 4.0).collect())
+        }
+
+        /// The pre-sweep reference: two binary searches per step, left
+        /// limits probed explicitly.
+        fn naive_max_y(a: &Ecdf, b: &Ecdf) -> f64 {
+            let cdf_below = |e: &Ecdf, x: f64| e.count_lt(x) as f64 / e.len() as f64;
+            let mut d: f64 = 0.0;
+            for &x in a.samples().iter().chain(b.samples()) {
+                d = d.max((a.cdf(x) - b.cdf(x)).abs());
+                d = d.max((cdf_below(a, x) - cdf_below(b, x)).abs());
+            }
+            d
+        }
+
+        proptest! {
+            #[test]
+            fn sweep_equals_naive_ks(xs in samples(), ys in samples()) {
+                let a = Ecdf::new(xs).unwrap();
+                let b = Ecdf::new(ys).unwrap();
+                prop_assert_eq!(a.max_y_distance(&b), naive_max_y(&a, &b));
+                prop_assert_eq!(b.max_y_distance(&a), a.max_y_distance(&b));
+            }
+
+            #[test]
+            fn cdf_batch_equals_pointwise(xs in samples(), qs in samples()) {
+                let e = Ecdf::new(xs).unwrap();
+                let batch = e.cdf_batch(&qs);
+                let pointwise: Vec<f64> = qs.iter().map(|&q| e.cdf(q)).collect();
+                prop_assert_eq!(batch, pointwise);
+            }
+        }
     }
 }

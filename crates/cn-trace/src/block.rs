@@ -1,0 +1,217 @@
+//! Arena-encoded record blocks: events laid out in the on-disk binary
+//! format at generation time.
+//!
+//! The binary trace format ([`crate::io`]) stores fixed 14-byte
+//! little-endian records. An [`EncodedBlock`] is a flat byte arena with
+//! that exact stride, filled by pushing [`TraceRecord`]s once; from then
+//! on the block (or any whole-record prefix of it) moves through spill
+//! files and the export sink **verbatim** — the k-way merge and the
+//! writer never re-encode, they copy byte ranges
+//! ([`crate::io::BinaryStreamWriter::write_encoded`]).
+//!
+//! Merging encoded runs needs an order without decoding full records.
+//! [`record_key_at`] reads the `(t_ms, ue)` prefix of an encoded record
+//! into the same packed `u128` key as [`TraceRecord::merge_key`], and
+//! [`encoded_prefix`] gallops over a block for the run-prefix that
+//! precedes a merge bound — the two primitives behind the out-of-core
+//! block-drain merge.
+
+use crate::record::TraceRecord;
+
+/// Bytes per encoded record: u64 `t_ms` + u32 `ue` + u8 device + u8 event.
+pub const RECORD_BYTES: usize = 14;
+
+/// A growable arena of records already laid out in the binary trace
+/// format (14-byte stride, little-endian, no header).
+///
+/// ```
+/// use cn_trace::block::EncodedBlock;
+/// use cn_trace::{DeviceType, EventType, Timestamp, TraceRecord, UeId};
+/// let mut block = EncodedBlock::with_capacity(2);
+/// let r = TraceRecord::new(Timestamp::from_millis(7), UeId(3), DeviceType::Phone, EventType::Attach);
+/// block.push(&r);
+/// assert_eq!(block.len(), 1);
+/// assert_eq!(block.as_bytes().len(), 14);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EncodedBlock {
+    bytes: Vec<u8>,
+}
+
+impl EncodedBlock {
+    /// An empty block.
+    pub fn new() -> EncodedBlock {
+        EncodedBlock::default()
+    }
+
+    /// An empty block with room for `records` records.
+    pub fn with_capacity(records: usize) -> EncodedBlock {
+        EncodedBlock {
+            bytes: Vec::with_capacity(records * RECORD_BYTES),
+        }
+    }
+
+    /// Append one record, encoding it into the arena.
+    #[inline]
+    pub fn push(&mut self, r: &TraceRecord) {
+        self.bytes.extend_from_slice(&r.t.as_millis().to_le_bytes());
+        self.bytes.extend_from_slice(&r.ue.get().to_le_bytes());
+        self.bytes.push(r.device.code());
+        self.bytes.push(r.event.code());
+    }
+
+    /// Number of records in the block.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / RECORD_BYTES
+    }
+
+    /// True when no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The encoded payload: `len() * 14` bytes, ready to write verbatim.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Drop all records, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+}
+
+/// Packed `(t_ms, ue)` merge key of the `i`-th encoded record in `bytes`
+/// (a headerless 14-byte-stride payload). Identical to
+/// [`TraceRecord::merge_key`] on the decoded record.
+///
+/// # Panics
+/// Panics if `bytes` does not hold record `i` in full.
+#[inline]
+pub fn record_key_at(bytes: &[u8], i: usize) -> u128 {
+    let off = i * RECORD_BYTES;
+    let t = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte t_ms"));
+    let ue = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().expect("4-byte ue"));
+    (u128::from(t) << 32) | u128::from(ue)
+}
+
+/// Length (in records) of the prefix of an encoded sorted run that
+/// precedes a merge bound: records whose key is `< bound`, or `<= bound`
+/// when `wins_ties` (the run owning the prefix wins key ties against the
+/// run owning the bound).
+///
+/// Gallops (doubling probe, then binary search) so a long winning run
+/// costs O(log prefix) key decodes rather than one comparison per record.
+pub fn encoded_prefix(bytes: &[u8], bound: u128, wins_ties: bool) -> usize {
+    let n = bytes.len() / RECORD_BYTES;
+    let precedes = |i: usize| {
+        let k = record_key_at(bytes, i);
+        k < bound || (wins_ties && k == bound)
+    };
+    if n == 0 || !precedes(0) {
+        return 0;
+    }
+    // Gallop for the first record that does NOT precede the bound.
+    let mut lo = 0usize; // known to precede
+    let mut step = 1usize;
+    while lo + step < n && precedes(lo + step) {
+        lo += step;
+        step *= 2;
+    }
+    let mut hi = (lo + step).min(n); // first candidate that may not precede
+                                     // Binary search in (lo, hi]: invariant precedes(lo), !precedes(hi) or hi == n.
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if precedes(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use crate::event::EventType;
+    use crate::record::UeId;
+    use crate::time::Timestamp;
+
+    fn rec(t: u64, ue: u32) -> TraceRecord {
+        TraceRecord::new(
+            Timestamp::from_millis(t),
+            UeId(ue),
+            DeviceType::Phone,
+            EventType::Attach,
+        )
+    }
+
+    #[test]
+    fn push_matches_binary_writer_layout() {
+        let records = [rec(100, 1), rec(u64::MAX >> 1, u32::MAX), rec(0, 0)];
+        let mut block = EncodedBlock::new();
+        for r in &records {
+            block.push(r);
+        }
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let mut w = crate::io::BinaryStreamWriter::new(&mut cursor).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        // Skip the 16-byte header; the payload must be byte-identical.
+        assert_eq!(block.as_bytes(), &cursor.into_inner()[16..]);
+        assert_eq!(block.len(), records.len());
+    }
+
+    #[test]
+    fn record_key_matches_merge_key() {
+        for r in [rec(0, 0), rec(5, 9), rec(u64::MAX, u32::MAX)] {
+            let mut block = EncodedBlock::new();
+            block.push(&r);
+            assert_eq!(record_key_at(block.as_bytes(), 0), r.merge_key());
+        }
+        // Multi-record indexing.
+        let mut block = EncodedBlock::new();
+        block.push(&rec(1, 1));
+        block.push(&rec(2, 2));
+        assert_eq!(record_key_at(block.as_bytes(), 1), rec(2, 2).merge_key());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut block = EncodedBlock::with_capacity(4);
+        block.push(&rec(1, 1));
+        assert!(!block.is_empty());
+        block.clear();
+        assert!(block.is_empty());
+        assert_eq!(block.len(), 0);
+    }
+
+    #[test]
+    fn encoded_prefix_matches_linear_scan() {
+        // Sorted run of keys 0, 2, 4, ..., 58 (ue 0 so key == t << 32).
+        let mut block = EncodedBlock::new();
+        for t in (0..60u64).step_by(2) {
+            block.push(&rec(t, 0));
+        }
+        let n = block.len();
+        let key = |t: u64| (u128::from(t)) << 32;
+        for bound_t in 0..62u64 {
+            for wins_ties in [false, true] {
+                let got = encoded_prefix(block.as_bytes(), key(bound_t), wins_ties);
+                let expect = (0..n)
+                    .take_while(|&i| {
+                        let k = record_key_at(block.as_bytes(), i);
+                        k < key(bound_t) || (wins_ties && k == key(bound_t))
+                    })
+                    .count();
+                assert_eq!(got, expect, "bound {bound_t}, wins_ties {wins_ties}");
+            }
+        }
+        // Empty payload.
+        assert_eq!(encoded_prefix(&[], 0, true), 0);
+    }
+}

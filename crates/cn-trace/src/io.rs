@@ -157,7 +157,7 @@ pub fn to_binary(trace: &Trace) -> Vec<u8> {
 }
 
 /// Bytes per binary record: u64 t_ms + u32 ue + u8 device + u8 event.
-const RECORD_BYTES: usize = 14;
+use crate::block::RECORD_BYTES;
 
 /// Validate the magic of a binary trace and split off the 16-byte
 /// header, returning the (untrusted) stored record count and the record
@@ -288,6 +288,32 @@ impl<W: Write + std::io::Seek> BinaryStreamWriter<W> {
         self.sink.write_all(&buf)?;
         self.count += 1;
         Ok(())
+    }
+
+    /// Append pre-encoded records verbatim — the zero-copy export path.
+    ///
+    /// `bytes` must be whole 14-byte records in the binary layout (an
+    /// [`crate::block::EncodedBlock`] payload or a whole-record slice of
+    /// one); a length that tears a record is rejected as
+    /// [`IoError::Binary`] before anything reaches the sink. No
+    /// per-record re-encode happens here: the block was laid out in disk
+    /// format at generation time and is copied through as-is.
+    pub fn write_encoded(&mut self, bytes: &[u8]) -> Result<(), IoError> {
+        if !bytes.len().is_multiple_of(RECORD_BYTES) {
+            return Err(IoError::Binary(format!(
+                "encoded block of {} bytes is not whole {RECORD_BYTES}-byte records",
+                bytes.len()
+            )));
+        }
+        self.sink.write_all(bytes)?;
+        self.count += (bytes.len() / RECORD_BYTES) as u64;
+        Ok(())
+    }
+
+    /// Append an [`crate::block::EncodedBlock`] verbatim (see
+    /// [`BinaryStreamWriter::write_encoded`]).
+    pub fn write_block(&mut self, block: &crate::block::EncodedBlock) -> Result<(), IoError> {
+        self.write_encoded(block.as_bytes())
     }
 
     /// Records written so far.

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod device;
 pub mod event;
 pub mod io;
@@ -32,9 +33,10 @@ pub mod time;
 pub mod trace;
 pub mod validate;
 
+pub use block::EncodedBlock;
 pub use device::{DeviceType, PopulationMix};
 pub use event::{EventCategory, EventType};
-pub use merge::LoserTree;
+pub use merge::{KeyLoserTree, LoserTree, EXHAUSTED_KEY};
 pub use record::{TraceRecord, UeId};
 pub use summary::TraceSummary;
 pub use time::{HourOfDay, Timestamp, MS_PER_DAY, MS_PER_HOUR, MS_PER_SEC};

@@ -188,6 +188,150 @@ fn beats<T: Ord>(heads: &[Option<T>], a: usize, b: usize) -> bool {
     }
 }
 
+/// Sentinel key marking an exhausted run in a [`KeyLoserTree`]. Live keys
+/// must be strictly smaller.
+pub const EXHAUSTED_KEY: u128 = u128::MAX;
+
+/// A struct-of-arrays tournament tree over packed `u128` keys — the
+/// cache-compact sibling of [`LoserTree`].
+///
+/// [`LoserTree<TraceRecord>`] keeps a `Vec<Option<TraceRecord>>` of heads:
+/// 16-byte records behind an `Option`, compared through the full
+/// `(t, ue, event)` `Ord`. When the merge fans over tens of thousands of
+/// runs (one per UE in the population stream), every replay touches
+/// ⌈log₂k⌉ of those fat heads. `KeyLoserTree` strips the tournament down
+/// to two parallel arrays — `keys: Vec<u128>` and `losers: Vec<u32>` — so
+/// a replay is ⌈log₂k⌉ integer compares over dense memory and nothing
+/// else. Run payloads (the records themselves) live wherever the caller
+/// keeps them, addressed by the winning run index.
+///
+/// Keys are ordered as plain `u128`s with [`EXHAUSTED_KEY`] (`u128::MAX`)
+/// as the "run empty" sentinel; ties break toward the lower run index,
+/// mirroring [`LoserTree`]. For trace merging the key is
+/// [`TraceRecord::merge_key`] (`t_ms << 32 | ue`), which embeds the record
+/// order exactly whenever no two live heads share `(t, ue)` — guaranteed
+/// for per-UE event streams, where each UE appears in exactly one run and
+/// per-UE timestamps strictly increase.
+///
+/// [`TraceRecord::merge_key`]: crate::TraceRecord::merge_key
+#[derive(Debug, Clone)]
+pub struct KeyLoserTree {
+    /// Current head key of each run ([`EXHAUSTED_KEY`] = exhausted).
+    keys: Vec<u128>,
+    /// `losers[0]` is the overall winner; `losers[1..k]` hold the loser of
+    /// the match at each internal node.
+    losers: Vec<u32>,
+    /// Number of runs whose key is live.
+    live: usize,
+}
+
+impl KeyLoserTree {
+    /// Build the tree from the head key of each run ([`EXHAUSTED_KEY`] for
+    /// runs that start empty). Cost: k − 1 comparisons.
+    pub fn new(keys: Vec<u128>) -> KeyLoserTree {
+        let k = keys.len();
+        let live = keys.iter().filter(|&&h| h != EXHAUSTED_KEY).count();
+        if k == 0 {
+            return KeyLoserTree {
+                keys,
+                losers: Vec::new(),
+                live,
+            };
+        }
+        let mut losers = vec![0u32; k];
+        let mut winners = vec![u32::MAX; 2 * k];
+        for j in 0..k {
+            winners[k + j] = j as u32;
+        }
+        for node in (1..k).rev() {
+            let a = winners[2 * node];
+            let b = winners[2 * node + 1];
+            let (w, l) = if key_beats(&keys, a, b) {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            winners[node] = w;
+            losers[node] = l;
+        }
+        losers[0] = winners[1];
+        KeyLoserTree { keys, losers, live }
+    }
+
+    /// Index of the run holding the smallest live key, or `None` when every
+    /// run is exhausted.
+    #[inline]
+    pub fn winner(&self) -> Option<usize> {
+        let w = *self.losers.first()? as usize;
+        (self.keys[w] != EXHAUSTED_KEY).then_some(w)
+    }
+
+    /// Current head key of run `run` ([`EXHAUSTED_KEY`] once exhausted).
+    #[inline]
+    pub fn key(&self, run: usize) -> u128 {
+        self.keys[run]
+    }
+
+    /// Number of runs that still have elements.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Index of the run holding the *second*-smallest head, or `None` when
+    /// at most one run is live. Same tournament-path walk as
+    /// [`LoserTree::runner_up`]: the runner-up lost its match against the
+    /// winner, so it sits among the ⌈log₂k⌉ losers on the winner's
+    /// leaf-to-root path.
+    pub fn runner_up(&self) -> Option<usize> {
+        let w = self.winner()?;
+        let k = self.keys.len();
+        let mut best: Option<u32> = None;
+        let mut node = (k + w) / 2;
+        while node > 0 {
+            let cand = self.losers[node];
+            if self.keys[cand as usize] != EXHAUSTED_KEY {
+                best = Some(match best {
+                    Some(b) if !key_beats(&self.keys, cand, b) => b,
+                    _ => cand,
+                });
+            }
+            node /= 2;
+        }
+        best.map(|b| b as usize)
+    }
+
+    /// Replace the winner's key with `next` ([`EXHAUSTED_KEY`] when its run
+    /// is exhausted) and replay matches along the winner's leaf-to-root
+    /// path: ⌈log₂k⌉ integer comparisons, no allocation. No-op when the
+    /// merge is already complete.
+    #[inline]
+    pub fn replace_winner(&mut self, next: u128) {
+        let Some(w) = self.winner() else { return };
+        self.keys[w] = next;
+        if next == EXHAUSTED_KEY {
+            self.live -= 1;
+        }
+        let k = self.keys.len();
+        let mut winner = w as u32;
+        let mut node = (k + w) / 2;
+        while node > 0 {
+            if key_beats(&self.keys, self.losers[node], winner) {
+                std::mem::swap(&mut self.losers[node], &mut winner);
+            }
+            node /= 2;
+        }
+        self.losers[0] = winner;
+    }
+}
+
+/// Does run `a` beat run `b` under key order? Smaller key wins; ties
+/// (including two exhausted runs) break toward the lower run index.
+#[inline]
+fn key_beats(keys: &[u128], a: u32, b: u32) -> bool {
+    let (ka, kb) = (keys[a as usize], keys[b as usize]);
+    ka < kb || (ka == kb && a < b)
+}
+
 /// Merge pre-sorted runs into one sorted vector (convenience wrapper used
 /// by tests and small callers; the streaming paths drive [`LoserTree`]
 /// directly).
@@ -386,6 +530,123 @@ mod tests {
         let mut expect: Vec<u64> = runs.iter().flatten().copied().collect();
         expect.sort_unstable();
         assert_eq!(out, expect);
+    }
+
+    /// Drive a [`KeyLoserTree`] merge over u128 key runs.
+    fn key_merge(runs: &[Vec<u128>]) -> Vec<u128> {
+        let mut cursors = vec![1usize; runs.len()];
+        let mut tree = KeyLoserTree::new(
+            runs.iter()
+                .map(|r| r.first().copied().unwrap_or(EXHAUSTED_KEY))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        while let Some(w) = tree.winner() {
+            out.push(tree.key(w));
+            let next = runs[w].get(cursors[w]).copied().unwrap_or(EXHAUSTED_KEY);
+            cursors[w] += 1;
+            tree.replace_winner(next);
+        }
+        out
+    }
+
+    #[test]
+    fn key_tree_matches_loser_tree_on_random_runs() {
+        let mut state = 0xD1CE_BA5E_0F00_D00Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let k = (next() % 12) as usize;
+            let runs: Vec<Vec<u128>> = (0..k)
+                .map(|_| {
+                    let len = (next() % 20) as usize;
+                    let mut r: Vec<u128> = (0..len).map(|_| u128::from(next() % 50)).collect();
+                    r.sort_unstable();
+                    r
+                })
+                .collect();
+            assert_eq!(
+                key_merge(&runs),
+                merge_sorted(&runs),
+                "trial {trial}, k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_tree_edge_cases() {
+        // Empty tree.
+        let mut tree = KeyLoserTree::new(Vec::new());
+        assert_eq!(tree.winner(), None);
+        assert_eq!(tree.runner_up(), None);
+        assert_eq!(tree.live(), 0);
+        tree.replace_winner(EXHAUSTED_KEY); // no-op, no panic
+                                            // All runs exhausted from the start.
+        let tree = KeyLoserTree::new(vec![EXHAUSTED_KEY; 3]);
+        assert_eq!(tree.winner(), None);
+        assert_eq!(tree.live(), 0);
+        // Single live run: winner but no runner-up.
+        let tree = KeyLoserTree::new(vec![EXHAUSTED_KEY, 7, EXHAUSTED_KEY]);
+        assert_eq!(tree.winner(), Some(1));
+        assert_eq!(tree.runner_up(), None);
+        assert_eq!(tree.live(), 1);
+    }
+
+    #[test]
+    fn key_tree_ties_break_toward_lower_run_index() {
+        let runs = [vec![1u128, 2], vec![1, 2]];
+        let mut cursors = [1usize; 2];
+        let mut tree = KeyLoserTree::new(vec![1, 1]);
+        let mut order = Vec::new();
+        while let Some(w) = tree.winner() {
+            order.push((tree.key(w), w));
+            let next = runs[w].get(cursors[w]).copied().unwrap_or(EXHAUSTED_KEY);
+            cursors[w] += 1;
+            tree.replace_winner(next);
+        }
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn key_tree_runner_up_matches_naive_minimum_throughout() {
+        let mut state = 0xFEED_F00D_CAFE_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..100 {
+            let k = (next() % 9 + 1) as usize;
+            let runs: Vec<Vec<u128>> = (0..k)
+                .map(|_| {
+                    let len = (next() % 12) as usize;
+                    let mut r: Vec<u128> = (0..len).map(|_| u128::from(next() % 30)).collect();
+                    r.sort_unstable();
+                    r
+                })
+                .collect();
+            let mut cursors = vec![1usize; k];
+            let mut tree = KeyLoserTree::new(
+                runs.iter()
+                    .map(|r| r.first().copied().unwrap_or(EXHAUSTED_KEY))
+                    .collect(),
+            );
+            while let Some(w) = tree.winner() {
+                let naive = (0..k)
+                    .filter(|&i| i != w && tree.key(i) != EXHAUSTED_KEY)
+                    .min_by(|&a, &b| tree.key(a).cmp(&tree.key(b)).then(a.cmp(&b)));
+                assert_eq!(tree.runner_up(), naive, "trial {trial}, k {k}");
+                let n = runs[w].get(cursors[w]).copied().unwrap_or(EXHAUSTED_KEY);
+                cursors[w] += 1;
+                tree.replace_winner(n);
+            }
+            assert_eq!(tree.live(), 0);
+        }
     }
 
     #[test]

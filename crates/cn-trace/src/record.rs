@@ -61,6 +61,20 @@ impl TraceRecord {
             event,
         }
     }
+
+    /// Packed merge key: `t_ms << 32 | ue`, always below
+    /// [`crate::merge::EXHAUSTED_KEY`].
+    ///
+    /// Plain integer order on these keys embeds the full record [`Ord`]
+    /// (`(t, ue, event)`) exactly, *provided no two compared records share
+    /// `(t, ue)`* — the event tiebreaker is dropped. Per-UE generator
+    /// streams guarantee this: each UE lives in exactly one run and its
+    /// timestamps strictly increase, so `(t, ue)` is globally unique. The
+    /// compact [`crate::merge::KeyLoserTree`] merges on these keys.
+    #[inline]
+    pub fn merge_key(&self) -> u128 {
+        (u128::from(self.t.as_millis()) << 32) | u128::from(self.ue.get())
+    }
 }
 
 impl PartialOrd for TraceRecord {

@@ -8,8 +8,9 @@
 //!
 //! * **consistency** — hash the canonical binary serialization
 //!   ([`cn_trace::io::to_binary`]) of the same small seeded trace produced
-//!   by every engine × `threads {1,4}` × `shards {1,8}` combination and
-//!   demand a single hash;
+//!   by every engine × `threads {1,4}` × `shards {1,8}` combination —
+//!   plus the out-of-core exporter with both an all-memory and a
+//!   spill-everything budget — and demand a single hash;
 //! * **stability** — compare that hash against a pinned value checked into
 //!   `golden/hashes.json`, so a behavioral change to the generator, the
 //!   model sampling order, or the vendored RNG stream fails loudly instead
@@ -20,7 +21,9 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use cn_fit::ModelSet;
-use cn_gen::{generate, GenConfig, PopulationStream, ShardedStream};
+use cn_gen::{
+    generate, generate_out_of_core, GenConfig, OutOfCoreConfig, PopulationStream, ShardedStream,
+};
 use cn_obs::Registry;
 use cn_trace::{PopulationMix, Timestamp, Trace};
 use serde::{Deserialize, Serialize};
@@ -156,6 +159,35 @@ pub fn run_golden_observed(
             shards: 0,
             events: trace.len(),
             hash: trace_hash(&trace),
+        });
+    }
+    // Out-of-core export: hash the sink bytes directly (they are the
+    // `to_binary` encoding, so the hash is comparable). Two extremes:
+    // everything resident, and a zero budget that spills every non-empty
+    // run to disk — spilling must never move a byte. The fine chunk size
+    // exercises the k-way run merge, not just a single-run copy.
+    for (tag, budget) in [("mem", usize::MAX), ("spill", 0usize)] {
+        let occ = OutOfCoreConfig {
+            chunk_ues: 7,
+            buffer_budget_bytes: budget,
+            temp_dir: None,
+        };
+        let (report, sink) =
+            generate_out_of_core(models, config, &occ, std::io::Cursor::new(Vec::new()))
+                .unwrap_or_else(|e| panic!("golden out-of-core ({tag}) run failed: {e}"));
+        if budget == 0 {
+            assert!(
+                report.spilled_runs > 0,
+                "golden spill case must actually spill (got {} runs, 0 spilled)",
+                report.runs
+            );
+        }
+        cases.push(GoldenCase {
+            engine: format!("outofcore-{tag}"),
+            threads: 0,
+            shards: 0,
+            events: report.events as usize,
+            hash: fnv1a64(&sink.into_inner()),
         });
     }
     // The batch engine (already pushed) fixes the expected workload size;
