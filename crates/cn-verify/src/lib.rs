@@ -13,6 +13,10 @@
 //! * [`golden`] — pinned FNV-1a hashes of canonical trace bytes across the
 //!   batch/stream/sharded engines and thread/shard counts, catching any
 //!   unintended change to generator behavior or the vendored RNG stream;
+//! * [`scenario`] — golden gates for `cn-scenario`: identity inertness
+//!   against the steady-state pin, engine-equivalence of perturbed
+//!   overlays, and pinned hashes for the canonical flash-crowd and
+//!   paging-storm scenarios;
 //! * [`verdict`] — the claim/measured/pass report shape shared with
 //!   `cn-eval`'s paper-claims table.
 //!
@@ -25,6 +29,7 @@
 pub mod golden;
 pub mod model;
 pub mod roundtrip;
+pub mod scenario;
 pub mod verdict;
 
 pub use golden::{
@@ -32,4 +37,8 @@ pub use golden::{
 };
 pub use model::GroundTruth;
 pub use roundtrip::{run_round_trip, RoundTripConfig, RoundTripReport, TransitionCheck};
+pub use scenario::{
+    flash_crowd_spec, identity_spec, paging_storm_spec, run_scenario_golden, PIN_FLASH_CROWD,
+    PIN_IDENTITY, PIN_PAGING_STORM,
+};
 pub use verdict::{Verdict, VerdictReport};
