@@ -1,0 +1,26 @@
+//! Scratch review test (not part of the PR).
+
+use cn_fit::{fit, FitConfig, Method};
+use cn_gen::GenConfig;
+use cn_scenario::{ComposedStream, PopulationSlot};
+use cn_trace::{PopulationMix, Timestamp, Trace};
+use cn_world::{generate_world, WorldConfig};
+
+#[test]
+fn clamped_negative_offset_stream_stays_sorted() {
+    let trace = generate_world(&WorldConfig::new(PopulationMix::new(16, 6, 4), 2.0, 3));
+    let models = fit(&trace, &FitConfig::new(Method::Ours));
+    // Start at hour 9, offset -6h: everything before 15:00 local clamps to 0.
+    let slots = [PopulationSlot {
+        models: &models,
+        config: GenConfig::new(PopulationMix::new(10, 4, 2), Timestamp::at_hour(0, 9), 12.0, 3),
+        offset_hours: -15.0,
+    }];
+    let composed: Vec<_> = ComposedStream::new(&slots).unwrap().collect();
+    let clamped = composed.iter().filter(|r| r.t.as_millis() == 0).count();
+    eprintln!("clamped records: {clamped} / {}", composed.len());
+    let sorted = composed.windows(2).all(|w| w[0] <= w[1]);
+    assert!(sorted, "composed stream emitted out of (t, ue, event) order");
+    let t: Trace = composed.into_iter().collect();
+    assert!(cn_trace::check_well_formed(&t).is_empty());
+}
