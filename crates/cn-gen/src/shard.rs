@@ -190,6 +190,17 @@ pub enum StreamError {
         /// and comparable for tests).
         message: String,
     },
+    /// A live-service consumer (`cn-live`) fell behind its bounded send
+    /// queue and record frames addressed to it were dropped. The wire
+    /// stream carries an explicit gap marker at the drop position and the
+    /// consumer's terminal verdict is this typed error — honest
+    /// degradation, never a silently truncated or reordered stream.
+    ConsumerLagged {
+        /// Id of the lagging consumer (the live server's accept order).
+        consumer: usize,
+        /// Number of record frames dropped for this consumer.
+        dropped: u64,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -200,6 +211,12 @@ impl std::fmt::Display for StreamError {
             }
             StreamError::Io { stage, message } => {
                 write!(f, "out-of-core {stage} I/O failure: {message}")
+            }
+            StreamError::ConsumerLagged { consumer, dropped } => {
+                write!(
+                    f,
+                    "live consumer {consumer} lagged: {dropped} record frames dropped"
+                )
             }
         }
     }

@@ -1,0 +1,147 @@
+//! Monotonic clocks for wall-clock pacing.
+//!
+//! The pacer schedules each record against an *absolute* deadline on a
+//! monotonic clock, so everything it needs from the platform is "what
+//! time is it" and "block until then". [`Clock`] abstracts exactly that
+//! pair, which keeps the pacing logic deterministic under test:
+//! [`SystemClock`] is the production implementation over
+//! [`std::time::Instant`], and [`ManualClock`] is a hand-cranked fake
+//! whose `sleep_until` jumps time forward instantly while recording
+//! every sleep it was asked for.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock the pacer can sleep against.
+///
+/// `now_ns` is relative to an arbitrary per-clock origin — only
+/// differences are meaningful — and never goes backwards.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's origin.
+    fn now_ns(&self) -> u64;
+
+    /// Block until `now_ns() >= deadline_ns`. A deadline already in the
+    /// past returns immediately.
+    fn sleep_until(&self, deadline_ns: u64);
+}
+
+/// The production clock: [`Instant`]-backed, origin = construction time.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates after ~584 years of uptime; fine.
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    fn sleep_until(&self, deadline_ns: u64) {
+        // One sleep for the bulk plus a short spin-free re-check loop:
+        // `thread::sleep` may undershoot on some platforms, and the
+        // pacing contract is "not before the deadline".
+        loop {
+            let now = self.now_ns();
+            if now >= deadline_ns {
+                return;
+            }
+            std::thread::sleep(Duration::from_nanos(deadline_ns - now));
+        }
+    }
+}
+
+/// A deterministic test clock: time only moves when the test (or a
+/// `sleep_until`) moves it.
+///
+/// Cloning yields a handle onto the same underlying timeline, so a test
+/// can hold one handle while the code under test holds another.
+/// `sleep_until` jumps time straight to the deadline and records the
+/// `(now_at_call, deadline)` pair, which lets tests assert on the exact
+/// schedule the pacer asked for without any real waiting.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    inner: Arc<ManualInner>,
+}
+
+#[derive(Debug, Default)]
+struct ManualInner {
+    now_ns: AtomicU64,
+    /// Every `sleep_until` call as `(now at call, requested deadline)`,
+    /// including no-op calls whose deadline had already passed.
+    sleeps: Mutex<Vec<(u64, u64)>>,
+}
+
+impl ManualClock {
+    /// A clock starting at `t = 0`.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `ns` (models external delay, e.g. a stalled
+    /// consumer or a slow source pull).
+    pub fn advance(&self, ns: u64) {
+        self.inner.now_ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Every `sleep_until` call so far, as `(now at call, deadline)`.
+    pub fn sleeps(&self) -> Vec<(u64, u64)> {
+        self.inner.sleeps.lock().unwrap().clone()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.inner.now_ns.load(Ordering::SeqCst)
+    }
+
+    fn sleep_until(&self, deadline_ns: u64) {
+        let now = self.inner.now_ns.load(Ordering::SeqCst);
+        self.inner.sleeps.lock().unwrap().push((now, deadline_ns));
+        // Jump, don't add: a deadline in the past must not rewind time.
+        self.inner.now_ns.fetch_max(deadline_ns, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_jumps_to_deadlines_and_records_sleeps() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ns(), 0);
+        clock.sleep_until(1_000);
+        assert_eq!(clock.now_ns(), 1_000);
+        clock.advance(5_000);
+        // Past deadline: time must not rewind.
+        clock.sleep_until(2_000);
+        assert_eq!(clock.now_ns(), 6_000);
+        assert_eq!(clock.sleeps(), vec![(0, 1_000), (6_000, 2_000)]);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic_and_sleeps_past_deadlines() {
+        let clock = SystemClock::new();
+        let a = clock.now_ns();
+        let deadline = a + 2_000_000; // 2 ms
+        clock.sleep_until(deadline);
+        assert!(clock.now_ns() >= deadline);
+    }
+}

@@ -1,0 +1,50 @@
+//! Wall-clock-paced live traffic service.
+//!
+//! Every engine in this workspace produces a control-plane trace as a
+//! sorted record stream ([`cn_scenario::RecordSource`]): the sharded
+//! generator, scenario overlays, multi-population compositions. This
+//! crate turns any such stream into a *service*: a long-running server
+//! that emits the events in real time — or at a configurable
+//! time-compression factor — over TCP, in exactly the 14-byte binary
+//! framing the batch writers use. A consumer that saves the bytes gets
+//! a file the batch reader recovers; a consumer of a complete run gets
+//! the batch trace byte for byte.
+//!
+//! The moving parts, each its own module:
+//!
+//! * [`clock`] — the [`Clock`] abstraction: monotonic now + absolute
+//!   sleep, with a deterministic [`ManualClock`] for tests;
+//! * [`pace`] — open-loop pacing against absolute deadlines, so stalls
+//!   cause transient lag, never accumulated drift;
+//! * [`frame`] — the wire protocol: record frames plus in-band Gap and
+//!   End markers in reserved code space, and the consumer-side reader;
+//! * [`hub`] — bounded per-consumer queues with honest overflow (drops
+//!   become positioned gap markers and a typed
+//!   [`ConsumerLagged`](cn_gen::StreamError::ConsumerLagged) verdict);
+//! * [`checkpoint`] — atomic persistence of the emitted-records
+//!   watermark plus the spec that regenerates the stream, for
+//!   byte-exact resume;
+//! * [`server`] — the serve loop tying it together, with TCP accept,
+//!   stop handles, and the `cn_live_*` metric family.
+//!
+//! The crate follows the workspace's no-async-runtime stance: threads
+//! and blocking I/O only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod clock;
+pub mod frame;
+pub mod hub;
+pub mod pace;
+pub mod server;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use frame::{
+    capture, decode_frame, encode_frame, CapturedStream, Frame, LiveReader, FRAME_BYTES,
+};
+pub use hub::{ConsumerHandle, ConsumerReport, Hub};
+pub use pace::Pacer;
+pub use server::{LiveConfig, LiveError, LiveReport, LiveServer, ServerHandle};

@@ -1,0 +1,110 @@
+//! Open-loop pacing against absolute deadlines.
+//!
+//! Each record's wall deadline is computed from the stream origin:
+//!
+//! ```text
+//! deadline_ns = origin_wall_ns + (t_ms − origin_trace_ms) · 1e6 / compression
+//! ```
+//!
+//! The pacer sleeps until that *absolute* monotonic deadline — never
+//! "sleep for the inter-record delta". The difference matters under
+//! load: with relative sleeps every stall (slow source pull, consumer
+//! back-pressure, scheduler hiccup) shifts the rest of the stream
+//! permanently, and the error accumulates for the whole run. With
+//! absolute deadlines a stall produces transient lag on the records
+//! whose deadlines passed during it, and the very next record whose
+//! deadline is still in the future is emitted exactly on time again.
+//! Lag is therefore a *measurement*, not a debt — it is recorded per
+//! record into the `cn_live_lag_ms` histogram and decays to zero as soon
+//! as the server catches up.
+
+use cn_obs::Histogram;
+
+use crate::clock::Clock;
+
+/// Absolute-deadline scheduler for one serve run.
+pub struct Pacer<'c> {
+    clock: &'c dyn Clock,
+    /// Wall nanoseconds per trace millisecond (`1e6 / compression`).
+    ns_per_trace_ms: f64,
+    origin_trace_ms: u64,
+    origin_wall_ns: u64,
+    lag_ms: Histogram,
+}
+
+impl<'c> Pacer<'c> {
+    /// Anchor the schedule: trace time `origin_trace_ms` corresponds to
+    /// wall "now". `compression` must be finite and positive (validated
+    /// by the server config before any pacer exists).
+    pub fn new(
+        clock: &'c dyn Clock,
+        compression: f64,
+        origin_trace_ms: u64,
+        lag_ms: Histogram,
+    ) -> Pacer<'c> {
+        debug_assert!(
+            compression.is_finite() && compression > 0.0,
+            "unvalidated compression factor {compression}"
+        );
+        Pacer {
+            ns_per_trace_ms: 1.0e6 / compression,
+            origin_trace_ms,
+            origin_wall_ns: clock.now_ns(),
+            clock,
+            lag_ms,
+        }
+    }
+
+    /// The absolute wall deadline for trace time `t_ms`.
+    pub fn deadline_ns(&self, t_ms: u64) -> u64 {
+        let dt_ms = t_ms.saturating_sub(self.origin_trace_ms);
+        let dt_ns = (dt_ms as f64 * self.ns_per_trace_ms) as u64;
+        self.origin_wall_ns.saturating_add(dt_ns)
+    }
+
+    /// Block until `t_ms`'s deadline, then return the transient lag in
+    /// nanoseconds (0 when the deadline was met). The lag is also
+    /// recorded, in milliseconds, into the `cn_live_lag_ms` histogram.
+    pub fn pace(&self, t_ms: u64) -> u64 {
+        let deadline = self.deadline_ns(t_ms);
+        self.clock.sleep_until(deadline);
+        let lag_ns = self.clock.now_ns().saturating_sub(deadline);
+        self.lag_ms.record(lag_ns / 1_000_000);
+        lag_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn deadlines_scale_with_compression() {
+        let clock = ManualClock::new();
+        clock.advance(500); // non-zero wall origin
+        for (compression, t_ms, want_offset_ns) in [
+            (1.0, 1_000u64, 1_000_000_000u64),
+            (60.0, 60_000, 1_000_000_000),
+            (3600.0, 3_600_000, 1_000_000_000),
+            (2.0, 10, 5_000_000),
+        ] {
+            let pacer = Pacer::new(&clock, compression, 0, Histogram::noop());
+            assert_eq!(pacer.deadline_ns(t_ms), 500 + want_offset_ns);
+        }
+    }
+
+    #[test]
+    fn lag_is_transient_not_accumulated() {
+        let clock = ManualClock::new();
+        let pacer = Pacer::new(&clock, 1.0, 0, Histogram::noop());
+        assert_eq!(pacer.pace(1_000), 0);
+        // A 5 s stall: the t=2s and t=4s deadlines pass during it.
+        clock.advance(5_000_000_000);
+        assert_eq!(pacer.pace(2_000), 4_000_000_000);
+        assert_eq!(pacer.pace(4_000), 2_000_000_000);
+        // First record past the stall horizon is exactly on time again.
+        assert_eq!(pacer.pace(7_000), 0);
+        assert_eq!(clock.now_ns(), 7_000_000_000);
+    }
+}

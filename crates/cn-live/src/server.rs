@@ -1,0 +1,313 @@
+//! The live server: pull → pace → broadcast, with stop and resume.
+//!
+//! [`LiveServer::serve`] drives one [`RecordSource`] to exhaustion (or
+//! to a stop), pacing every record against its absolute wall deadline
+//! and fanning the encoded frame out through the [`Hub`]. TCP consumers
+//! attach through [`LiveServer::bind`]'s acceptor thread; in-process
+//! consumers (tests, pipes) attach straight to the hub.
+//!
+//! ### Failure and stop semantics
+//!
+//! * Source exhausted → consumers get pending gaps + an End marker,
+//!   `LiveReport::completed = true`.
+//! * `stop_after` watermark reached, or [`ServerHandle::stop`] →
+//!   [`Hub::abort`]: consumers see a clean close with no End marker and
+//!   the final checkpoint carries the exact watermark (resume is
+//!   byte-exact).
+//! * Source fault (worker panic, I/O) → the typed [`StreamError`] is
+//!   returned and consumers see the no-End close; the stream never
+//!   poses as complete.
+//!
+//! ### Metrics (`registry` handed to [`LiveServer::new`])
+//!
+//! * `cn_live_emitted_total` — records broadcast (counter);
+//! * `cn_live_lag_ms` — per-record emission lag behind the absolute
+//!   deadline (histogram; transient by construction, see [`Pacer`]);
+//! * `cn_live_backlog_blocks` — deepest any consumer queue has been
+//!   (high-watermark gauge);
+//! * `cn_live_drops_total` — record frames dropped across all consumers
+//!   (counter).
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cn_gen::StreamError;
+use cn_obs::{Counter, Histogram, Registry};
+use cn_scenario::RecordSource;
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::clock::Clock;
+use crate::frame::{encode_frame, Frame};
+use crate::hub::{ConsumerReport, Hub};
+use crate::pace::Pacer;
+
+/// Tuning for one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveConfig {
+    /// Trace-time over wall-time ratio (`wall = trace / compression`):
+    /// `1.0` replays in real time, `3600.0` serves an hour of trace per
+    /// wall second. Must be finite and positive.
+    pub compression: f64,
+    /// Per-consumer queue depth in frames (bounded back-pressure
+    /// buffer). Must be non-zero.
+    pub queue_frames: usize,
+    /// Write a checkpoint every N emitted records (`0` = only the final
+    /// one). Periodic checkpoints are at-least-once across a kill; the
+    /// final one on a graceful stop is exact.
+    pub checkpoint_every: u64,
+    /// Stop serving once the cumulative watermark reaches this count
+    /// (kill-simulation / drain drills). `None` = serve to exhaustion.
+    pub stop_after: Option<u64>,
+}
+
+impl LiveConfig {
+    /// Defaults: `queue_frames = 4096`, final-checkpoint-only, serve to
+    /// exhaustion.
+    pub fn new(compression: f64) -> LiveConfig {
+        LiveConfig {
+            compression,
+            queue_frames: 4096,
+            checkpoint_every: 0,
+            stop_after: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), LiveError> {
+        if !self.compression.is_finite() || self.compression <= 0.0 {
+            return Err(LiveError::InvalidCompression(self.compression));
+        }
+        if self.queue_frames == 0 {
+            return Err(LiveError::ZeroQueue);
+        }
+        Ok(())
+    }
+}
+
+/// Typed failures of the live service.
+#[derive(Debug)]
+pub enum LiveError {
+    /// `compression` was NaN, infinite, zero, or negative.
+    InvalidCompression(f64),
+    /// `queue_frames` was zero (a zero-capacity rendezvous queue would
+    /// make every broadcast a drop).
+    ZeroQueue,
+    /// The record source faulted (containment contract: the typed error
+    /// is propagated, never swallowed).
+    Stream(StreamError),
+    /// A checkpoint could not be written or read.
+    Checkpoint(CheckpointError),
+    /// Binding or configuring the TCP listener failed.
+    Bind(String),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::InvalidCompression(c) => {
+                write!(f, "invalid compression factor {c} (need finite > 0)")
+            }
+            LiveError::ZeroQueue => write!(f, "consumer queue depth must be non-zero"),
+            LiveError::Stream(e) => write!(f, "record source failed: {e}"),
+            LiveError::Checkpoint(e) => write!(f, "{e}"),
+            LiveError::Bind(msg) => write!(f, "listener setup failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl From<StreamError> for LiveError {
+    fn from(e: StreamError) -> Self {
+        LiveError::Stream(e)
+    }
+}
+
+impl From<CheckpointError> for LiveError {
+    fn from(e: CheckpointError) -> Self {
+        LiveError::Checkpoint(e)
+    }
+}
+
+/// What one serve run did.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Cumulative watermark (includes any resumed prefix).
+    pub emitted: u64,
+    /// Records actually broadcast by *this* run.
+    pub served: u64,
+    /// Records fast-forwarded past on resume (not paced, not sent).
+    pub skipped: u64,
+    /// Whether the source ran to exhaustion (End marker sent).
+    pub completed: bool,
+    /// Per-consumer outcomes in accept order.
+    pub consumers: Vec<Result<ConsumerReport, StreamError>>,
+}
+
+/// Remote stop switch for a running serve.
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Ask the serve loop (and the acceptor, if bound) to wind down at
+    /// the next record boundary.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A wall-clock-paced traffic server over one generation-engine stream.
+pub struct LiveServer<C: Clock> {
+    clock: C,
+    cfg: LiveConfig,
+    hub: Arc<Hub>,
+    emitted_total: Counter,
+    lag_ms: Histogram,
+    stop: Arc<AtomicBool>,
+}
+
+impl<C: Clock> LiveServer<C> {
+    /// Validate `cfg` and set up the hub and metrics.
+    pub fn new(clock: C, cfg: LiveConfig, registry: &Registry) -> Result<LiveServer<C>, LiveError> {
+        cfg.validate()?;
+        Ok(LiveServer {
+            hub: Arc::new(Hub::new(cfg.queue_frames, registry)),
+            emitted_total: registry.counter("cn_live_emitted_total"),
+            lag_ms: registry.histogram("cn_live_lag_ms"),
+            stop: Arc::new(AtomicBool::new(false)),
+            clock,
+            cfg,
+        })
+    }
+
+    /// The fan-out hub, for attaching in-process consumers directly
+    /// (tests, pipes) via [`Hub::add_writer`].
+    pub fn hub(&self) -> &Arc<Hub> {
+        &self.hub
+    }
+
+    /// A clonable stop switch.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Bind a TCP listener and spawn the acceptor thread: every
+    /// connection becomes a hub consumer receiving the stream from its
+    /// moment of attachment onward. Returns the bound address (use port
+    /// 0 to let the OS pick). The acceptor winds down when the serve
+    /// run ends or [`ServerHandle::stop`] fires.
+    pub fn bind(&self, addr: &str) -> Result<SocketAddr, LiveError> {
+        let listener = TcpListener::bind(addr).map_err(|e| LiveError::Bind(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| LiveError::Bind(e.to_string()))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| LiveError::Bind(e.to_string()))?;
+        let hub = Arc::clone(&self.hub);
+        let stop = Arc::clone(&self.stop);
+        std::thread::spawn(move || accept_loop(&listener, &hub, &stop));
+        Ok(local)
+    }
+
+    /// Serve `source` to all attached consumers.
+    ///
+    /// `resume_from` fast-forwards past that many records without pacing
+    /// or sending them (the watermark from a [`Checkpoint`]); the pacing
+    /// origin re-anchors at the first record actually served, so a
+    /// resume never tries to "catch up" wall time the dead server lost.
+    /// `checkpoint` is an optional `(path, template)` pair: progress is
+    /// saved there with the template's config/scenario/compression and
+    /// the live watermark.
+    pub fn serve<S: RecordSource>(
+        &self,
+        mut source: S,
+        resume_from: u64,
+        checkpoint: Option<(PathBuf, Checkpoint)>,
+    ) -> Result<LiveReport, LiveError> {
+        let save = |emitted: u64| -> Result<(), LiveError> {
+            if let Some((path, template)) = &checkpoint {
+                Checkpoint {
+                    emitted,
+                    ..template.clone()
+                }
+                .save(path)?;
+            }
+            Ok(())
+        };
+        let mut emitted = resume_from;
+        let mut skipped = 0u64;
+        let mut served = 0u64;
+        let mut completed = false;
+        let mut pacer: Option<Pacer> = None;
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.cfg.stop_after.is_some_and(|n| emitted >= n) {
+                break;
+            }
+            let Some(record) = source.try_next().map_err(LiveError::Stream)? else {
+                completed = true;
+                break;
+            };
+            if skipped < resume_from {
+                skipped += 1;
+                continue;
+            }
+            let t_ms = record.t.as_millis();
+            let pacer = pacer.get_or_insert_with(|| {
+                Pacer::new(&self.clock, self.cfg.compression, t_ms, self.lag_ms.clone())
+            });
+            pacer.pace(t_ms);
+            self.hub.broadcast(encode_frame(&Frame::Record(record)));
+            emitted += 1;
+            served += 1;
+            self.emitted_total.inc();
+            if self.cfg.checkpoint_every != 0 && emitted.is_multiple_of(self.cfg.checkpoint_every) {
+                save(emitted)?;
+            }
+        }
+        // Wind the fan-out down before the final checkpoint so the
+        // checkpoint never claims more than what reached the queues.
+        let consumers = if completed {
+            self.hub.finish(emitted)
+        } else {
+            self.hub.abort()
+        };
+        save(emitted)?;
+        self.stop.store(true, Ordering::SeqCst); // winds down the acceptor
+        source.finish().map_err(LiveError::Stream)?;
+        Ok(LiveReport {
+            emitted,
+            served,
+            skipped,
+            completed,
+            consumers,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, hub: &Arc<Hub>, stop: &Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                hub.add_writer(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}

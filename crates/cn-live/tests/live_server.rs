@@ -1,0 +1,207 @@
+//! End-to-end live service tests over real sockets and real engines.
+//!
+//! These run at an extreme compression factor so the paced stream
+//! degenerates to "as fast as possible" — the properties under test are
+//! wire fidelity (the served bytes are the batch trace, byte for byte),
+//! checkpoint/resume exactness, and the typed end-of-stream semantics,
+//! not the wall schedule (that is `tests/pacing.rs`, on the mock
+//! clock).
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cn_fit::{fit, FitConfig, Method, ModelSet};
+use cn_gen::{GenConfig, ShardedStream};
+use cn_live::{capture, CapturedStream, Checkpoint, LiveConfig, LiveServer, SystemClock};
+use cn_obs::Registry;
+use cn_scenario::{ComposedStream, PopulationSlot};
+use cn_trace::{PopulationMix, Timestamp, Trace, TraceRecord};
+use cn_world::{generate_world, WorldConfig};
+
+fn models() -> &'static ModelSet {
+    static MODELS: OnceLock<ModelSet> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let trace = generate_world(&WorldConfig::new(PopulationMix::new(16, 6, 4), 2.0, 3));
+        fit(&trace, &FitConfig::new(Method::Ours))
+    })
+}
+
+fn config() -> GenConfig {
+    GenConfig::new(
+        PopulationMix::new(10, 4, 2),
+        Timestamp::at_hour(0, 9),
+        1.0,
+        2024,
+    )
+}
+
+/// Effectively-unpaced serving: one trace hour per 3.6 wall-µs.
+const FAST: f64 = 1.0e9;
+
+#[derive(Clone, Default)]
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn await_consumers<C: cn_live::Clock>(server: &LiveServer<C>, n: usize) {
+    for _ in 0..5_000 {
+        if server.hub().consumer_count() >= n {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("consumers never attached");
+}
+
+#[test]
+fn tcp_consumer_receives_the_batch_trace_byte_for_byte() {
+    let batch = cn_gen::generate(models(), &config());
+    let registry = Registry::new();
+    let server = LiveServer::new(SystemClock::new(), LiveConfig::new(FAST), &registry).unwrap();
+    let addr = server.bind("127.0.0.1:0").unwrap();
+    let consumer = std::thread::spawn(move || -> CapturedStream {
+        let stream = TcpStream::connect(addr).expect("connect to live server");
+        capture(stream).expect("drain live stream")
+    });
+    await_consumers(&server, 1);
+    let source = ShardedStream::new(models(), &config());
+    let report = server.serve(source, 0, None).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.served as usize, batch.len());
+
+    let captured = consumer.join().unwrap();
+    let received: Trace = captured.records.iter().copied().collect();
+    assert_eq!(received, batch, "live bytes diverge from the batch trace");
+    assert_eq!(captured.end, Some(batch.len() as u64));
+    assert_eq!(captured.verdict(0), Ok(()));
+    assert_eq!(
+        registry.snapshot().counter("cn_live_emitted_total"),
+        Some(batch.len() as u64)
+    );
+    // The consumer's writer saw a healthy connection end-to-end.
+    let consumer_report = report.consumers[0].as_ref().unwrap();
+    assert_eq!(consumer_report.dropped, 0);
+    assert_eq!(consumer_report.verdict(), Ok(()));
+}
+
+#[test]
+fn stop_and_resume_reproduce_the_stream_byte_for_byte() {
+    let batch = cn_gen::generate(models(), &config());
+    let total = batch.len() as u64;
+    let cut = total / 3;
+    let ckpt_path =
+        std::env::temp_dir().join(format!("cn-live-resume-test-{}.json", std::process::id()));
+    let template = Checkpoint {
+        emitted: 0,
+        compression: FAST,
+        config: config(),
+        scenario: None,
+    };
+
+    // First incarnation: killed (stop_after) at the cut watermark.
+    let registry = Registry::disabled();
+    let mut cfg = LiveConfig::new(FAST);
+    cfg.stop_after = Some(cut);
+    let server = LiveServer::new(SystemClock::new(), cfg, &registry).unwrap();
+    let sink1 = SharedSink::default();
+    server.hub().add_writer(sink1.clone());
+    let report1 = server
+        .serve(
+            ShardedStream::new(models(), &config()),
+            0,
+            Some((ckpt_path.clone(), template.clone())),
+        )
+        .unwrap();
+    assert!(!report1.completed);
+    assert_eq!(report1.emitted, cut);
+    let captured1 = capture(&sink1.0.lock().unwrap()[..]).unwrap();
+    // Abrupt stop: no End marker — the wire itself says "incomplete".
+    assert_eq!(captured1.end, None);
+    assert_eq!(captured1.records.len() as u64, cut);
+
+    // Second incarnation: rebuilt from the checkpoint alone.
+    let ckpt = Checkpoint::load(&ckpt_path).unwrap();
+    assert_eq!(ckpt.emitted, cut);
+    assert_eq!(ckpt.config, config());
+    let server = LiveServer::new(
+        SystemClock::new(),
+        LiveConfig::new(ckpt.compression),
+        &registry,
+    )
+    .unwrap();
+    let sink2 = SharedSink::default();
+    server.hub().add_writer(sink2.clone());
+    let report2 = server
+        .serve(
+            ShardedStream::new(models(), &ckpt.config),
+            ckpt.emitted,
+            Some((ckpt_path.clone(), template)),
+        )
+        .unwrap();
+    std::fs::remove_file(&ckpt_path).ok();
+    assert!(report2.completed);
+    assert_eq!(report2.skipped, cut);
+    assert_eq!(report2.emitted, total);
+    let captured2 = capture(&sink2.0.lock().unwrap()[..]).unwrap();
+    assert_eq!(captured2.end, Some(total));
+
+    // Concatenating both incarnations' records reproduces the batch
+    // trace exactly.
+    let mut joined: Vec<TraceRecord> = captured1.records;
+    joined.extend_from_slice(&captured2.records);
+    let joined: Trace = joined.into_iter().collect();
+    assert_eq!(joined, batch, "kill/resume did not splice byte-exactly");
+}
+
+#[test]
+fn composed_stream_serves_identically_to_its_batch_collection() {
+    // The tentpole meets the ordering bugfix: a composition with a
+    // clamping negative offset is served live and must match its batch
+    // collection record for record.
+    let mk = || {
+        [
+            PopulationSlot {
+                models: models(),
+                config: GenConfig::new(
+                    PopulationMix::new(6, 2, 2),
+                    Timestamp::at_hour(0, 9),
+                    1.0,
+                    7,
+                ),
+                offset_hours: -9.25,
+            },
+            PopulationSlot {
+                models: models(),
+                config: GenConfig::new(
+                    PopulationMix::new(5, 2, 1),
+                    Timestamp::at_hour(0, 9),
+                    1.0,
+                    8,
+                ),
+                offset_hours: 0.0,
+            },
+        ]
+    };
+    let batch: Vec<TraceRecord> = ComposedStream::new(&mk()).unwrap().collect();
+    let registry = Registry::disabled();
+    let server = LiveServer::new(SystemClock::new(), LiveConfig::new(FAST), &registry).unwrap();
+    let sink = SharedSink::default();
+    server.hub().add_writer(sink.clone());
+    let report = server
+        .serve(ComposedStream::new(&mk()).unwrap(), 0, None)
+        .unwrap();
+    assert!(report.completed);
+    let captured = capture(&sink.0.lock().unwrap()[..]).unwrap();
+    assert_eq!(captured.records, batch);
+    assert_eq!(captured.verdict(0), Ok(()));
+}

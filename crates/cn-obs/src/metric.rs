@@ -165,6 +165,16 @@ impl Gauge {
         }
     }
 
+    /// Raise the level to `v` if it is higher than the current value — a
+    /// high-watermark gauge (peak queue backlog, worst-case depth). Safe
+    /// under concurrent writers: the stored value only ever grows.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if let Some(core) = &self.core {
+            core.value.fetch_max(v, Relaxed);
+        }
+    }
+
     /// Current level (0 for the no-op form).
     pub fn get(&self) -> u64 {
         self.core.as_ref().map_or(0, |c| c.value.load(Relaxed))
@@ -408,6 +418,21 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.add(u64::MAX);
         assert_eq!(g.get(), u64::MAX, "gauge increments saturate at the top");
+    }
+
+    #[test]
+    fn gauge_record_max_is_a_high_watermark() {
+        let g = crate::Registry::new().gauge("cn_test_watermark");
+        g.record_max(7);
+        assert_eq!(g.get(), 7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7, "a lower sample must not regress the peak");
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+        // The no-op form stays inert.
+        let noop = Gauge::noop();
+        noop.record_max(42);
+        assert_eq!(noop.get(), 0);
     }
 
     #[test]

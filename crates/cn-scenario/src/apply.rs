@@ -261,6 +261,20 @@ impl<'m, S: RecordSource> ScenarioStream<'m, S> {
     }
 }
 
+/// A scenario overlay is itself a [`RecordSource`]: downstream stages
+/// (binary export, the live pacing server) drain it through the same
+/// fallible protocol as any engine, and `finish` keeps the containment
+/// contract (a panicked baseline worker still fails the wind-down).
+impl<S: RecordSource> RecordSource for ScenarioStream<'_, S> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, StreamError> {
+        ScenarioStream::try_next(self)
+    }
+
+    fn finish(self) -> Result<(), StreamError> {
+        ScenarioStream::finish(self).map(|_| ())
+    }
+}
+
 /// Apply a scenario over the **batch** engine: generate with
 /// [`cn_gen::generate`], overlay, materialize.
 pub fn apply_scenario(

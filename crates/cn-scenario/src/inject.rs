@@ -122,8 +122,15 @@ pub fn materialize_phase(
             period_s,
             device,
         } => {
-            let period = (*period_s * MS_PER_SEC as f64).round() as u64;
-            debug_assert!(period >= 1, "validated period rounds to >= 1 ms");
+            let raw = (*period_s * MS_PER_SEC as f64).round() as u64;
+            debug_assert!(raw >= 1, "unvalidated M2mReporting period (rounds to 0 ms)");
+            // `ScenarioSpec::validate()` rejects periods that round to
+            // 0 ms (`SpecError::ZeroIntensity`), but this function is
+            // public and a debug_assert vanishes in release builds — where
+            // `t += 0` below would spin forever. Clamp defensively so an
+            // unvalidated call degrades to a 1 ms period instead of
+            // wedging the process.
+            let period = raw.max(1);
             // Synchronized: every fleet UE reports at exactly the same
             // instants — the zero-jitter pathological case.
             let mut t = start;
@@ -381,6 +388,44 @@ mod tests {
         let recs = materialize_phase(&phase, 0, 1, &cfg);
         for r in &recs {
             assert_eq!(r.device, cfg.device_of(r.ue.get()), "{r:?}");
+        }
+    }
+
+    /// Regression for the release-build infinite loop: a period that
+    /// rounds to 0 ms must be rejected by validation, and — because
+    /// `materialize_phase` is public — must terminate (clamped to 1 ms)
+    /// even when validation is bypassed. The termination half only runs
+    /// in release tests; in debug the defensive `debug_assert` fires
+    /// first, which is the intended misuse signal there.
+    #[test]
+    fn zero_rounding_m2m_period_is_rejected_and_cannot_wedge() {
+        let phase = Phase {
+            name: "zero-period".into(),
+            window: TimeWindow::new(0.0, 1.0),
+            kind: PhaseKind::M2mReporting {
+                ues: UeSubset::new(0, 2),
+                period_s: 0.0004, // rounds to 0 ms
+                device: DeviceType::ConnectedCar,
+            },
+        };
+        let spec = crate::ScenarioSpec {
+            name: "bad".into(),
+            seed: 1,
+            phases: vec![phase.clone()],
+        };
+        assert_eq!(
+            spec.validate(),
+            Err(crate::SpecError::ZeroIntensity {
+                phase: 0,
+                field: "period_s"
+            })
+        );
+        #[cfg(not(debug_assertions))]
+        {
+            let recs = materialize_phase(&phase, 0, 1, &config());
+            // Clamped to 1 ms: one report per UE per millisecond of the
+            // 1 s window — finite, not an infinite loop.
+            assert_eq!(recs.len(), 1_000 * 2);
         }
     }
 

@@ -256,6 +256,14 @@ pub enum SpecError {
         /// Field name.
         field: &'static str,
     },
+    /// Composing populations overflowed the dense `u32` UE id space
+    /// ([`crate::ComposedStream`]): the cumulative population total
+    /// through this slot exceeds `u32::MAX`, so the slot's UEs cannot be
+    /// relabeled onto a disjoint range without aliasing earlier slots.
+    UeRangeOverflow {
+        /// Index of the first slot whose relabeled range does not fit.
+        slot: usize,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -282,6 +290,12 @@ impl std::fmt::Display for SpecError {
             }
             SpecError::ZeroIntensity { phase, field } => {
                 write!(f, "phase {phase}: `{field}` must be positive")
+            }
+            SpecError::UeRangeOverflow { slot } => {
+                write!(
+                    f,
+                    "slot {slot}: cumulative population total overflows the u32 UE id space"
+                )
             }
         }
     }

@@ -1,0 +1,136 @@
+//! Ordering contract of [`ComposedStream`] under clamping offsets.
+//!
+//! Regression suite for the clamped-prefix ordering bug: a negative
+//! time-zone offset clamps every record at local `t ≤ |offset|` onto the
+//! epoch, and the stream used to emit those records in *pre-shift* order
+//! — violating the `(t, ue, event)` total order every other engine is
+//! golden-pinned on. The composed stream must stay sorted, well-formed,
+//! and lossless for **any** finite offset (promoted from the reviewer's
+//! `scratch_review.rs` probe, plus a property sweep).
+
+use std::sync::OnceLock;
+
+use cn_fit::{fit, FitConfig, Method, ModelSet};
+use cn_gen::GenConfig;
+use cn_scenario::{ComposedStream, PopulationSlot};
+use cn_trace::{PopulationMix, Timestamp, Trace};
+use cn_world::{generate_world, WorldConfig};
+use proptest::prelude::*;
+
+/// One fitted model set shared by every case (fitting per case would
+/// dominate the suite's runtime without adding coverage).
+fn models() -> &'static ModelSet {
+    static MODELS: OnceLock<ModelSet> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let trace = generate_world(&WorldConfig::new(PopulationMix::new(16, 6, 4), 2.0, 3));
+        fit(&trace, &FitConfig::new(Method::Ours))
+    })
+}
+
+fn slot_config(seed: u64) -> GenConfig {
+    GenConfig::new(
+        PopulationMix::new(8, 3, 2),
+        Timestamp::at_hour(0, 9),
+        1.0,
+        seed,
+    )
+}
+
+/// The reviewer's original probe, verbatim in shape: start at hour 9,
+/// offset -15 h, so everything clamps to the epoch.
+#[test]
+fn clamped_negative_offset_stream_stays_sorted() {
+    let slots = [PopulationSlot {
+        models: models(),
+        config: GenConfig::new(
+            PopulationMix::new(10, 4, 2),
+            Timestamp::at_hour(0, 9),
+            12.0,
+            3,
+        ),
+        offset_hours: -15.0,
+    }];
+    let composed: Vec<_> = ComposedStream::new(&slots).unwrap().collect();
+    let clamped = composed.iter().filter(|r| r.t.as_millis() == 0).count();
+    assert!(clamped > 0, "offset -15 h must clamp the early records");
+    assert!(
+        composed.windows(2).all(|w| w[0] <= w[1]),
+        "composed stream emitted out of (t, ue, event) order"
+    );
+    let t: Trace = composed.into_iter().collect();
+    assert!(cn_trace::check_well_formed(&t).is_empty());
+}
+
+/// A *partially* clamping offset is the sharpest case: the clamped prefix
+/// must merge in order with the still-live remainder of the same slot and
+/// with other, unclamped slots.
+#[test]
+fn partially_clamped_slot_merges_in_order_with_unclamped_slots() {
+    let slots = [
+        PopulationSlot {
+            models: models(),
+            config: slot_config(11),
+            offset_hours: -9.25, // clamps the first quarter hour of traffic
+        },
+        PopulationSlot {
+            models: models(),
+            config: slot_config(12),
+            offset_hours: 0.0,
+        },
+    ];
+    let composed: Vec<_> = ComposedStream::new(&slots).unwrap().collect();
+    assert!(composed.windows(2).all(|w| w[0] <= w[1]));
+    let a = cn_gen::generate(models(), &slot_config(11));
+    let b = cn_gen::generate(models(), &slot_config(12));
+    assert_eq!(
+        composed.len(),
+        a.len() + b.len(),
+        "clamping must not drop records"
+    );
+    let t: Trace = composed.into_iter().collect();
+    assert!(cn_trace::check_well_formed(&t).is_empty());
+}
+
+fn arb_offset() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // The interesting band around the 9 h start: non-clamping,
+        // partially clamping, and fully clamping negatives.
+        (-1_500i32..1_500).prop_map(|hundredths| f64::from(hundredths) / 100.0),
+        // Pathological magnitudes: everything clamps / everything shifts
+        // far out; the stream must stay ordered either way.
+        Just(-1.0e6),
+        Just(1.0e6),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any finite offsets — including clamping negatives — compose into a
+    /// sorted, well-formed, lossless stream.
+    #[test]
+    fn composed_stream_is_sorted_and_well_formed_for_any_finite_offsets(
+        offsets in prop::collection::vec(arb_offset(), 1..4),
+    ) {
+        let slots: Vec<PopulationSlot> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &offset_hours)| PopulationSlot {
+                models: models(),
+                config: slot_config(100 + i as u64),
+                offset_hours,
+            })
+            .collect();
+        let composed: Vec<_> = ComposedStream::new(&slots).unwrap().collect();
+        prop_assert!(
+            composed.windows(2).all(|w| w[0] <= w[1]),
+            "composed stream emitted out of (t, ue, event) order (offsets {offsets:?})"
+        );
+        let expected: usize = (0..offsets.len())
+            .map(|i| cn_gen::generate(models(), &slot_config(100 + i as u64)).len())
+            .sum();
+        prop_assert_eq!(composed.len(), expected, "composition dropped records");
+        let t: Trace = composed.into_iter().collect();
+        prop_assert!(cn_trace::check_well_formed(&t).is_empty());
+    }
+}

@@ -159,6 +159,38 @@ pub fn to_binary(trace: &Trace) -> Vec<u8> {
 /// Bytes per binary record: u64 t_ms + u32 ue + u8 device + u8 event.
 use crate::block::RECORD_BYTES;
 
+/// Encode one record into its fixed 14-byte little-endian wire frame —
+/// the unit both the on-disk binary format and the live streaming
+/// protocol (`cn-live`) are built from.
+pub fn encode_record(r: &TraceRecord) -> [u8; RECORD_BYTES] {
+    let mut buf = [0u8; RECORD_BYTES];
+    buf[..8].copy_from_slice(&r.t.as_millis().to_le_bytes());
+    buf[8..12].copy_from_slice(&r.ue.get().to_le_bytes());
+    buf[12] = r.device.code();
+    buf[13] = r.event.code();
+    buf
+}
+
+/// Decode one 14-byte wire frame produced by [`encode_record`].
+///
+/// Unknown device/event codes are a typed [`IoError::Binary`] — a frame
+/// that is not a record (e.g. a live-stream control marker) must be
+/// handled *before* this call, never silently misparsed.
+pub fn decode_record(buf: &[u8; RECORD_BYTES]) -> Result<TraceRecord, IoError> {
+    let t = u64::from_le_bytes(buf[..8].try_into().expect("8-byte slice"));
+    let ue = u32::from_le_bytes(buf[8..12].try_into().expect("4-byte slice"));
+    let device = DeviceType::from_code(buf[12])
+        .ok_or_else(|| IoError::Binary(format!("bad device code {}", buf[12])))?;
+    let event = EventType::from_code(buf[13])
+        .ok_or_else(|| IoError::Binary(format!("bad event code {}", buf[13])))?;
+    Ok(TraceRecord::new(
+        Timestamp::from_millis(t),
+        UeId(ue),
+        device,
+        event,
+    ))
+}
+
 /// Validate the magic of a binary trace and split off the 16-byte
 /// header, returning the (untrusted) stored record count and the record
 /// payload.
@@ -280,12 +312,7 @@ impl<W: Write + std::io::Seek> BinaryStreamWriter<W> {
 
     /// Append one record.
     pub fn write(&mut self, r: &TraceRecord) -> Result<(), IoError> {
-        let mut buf = [0u8; 14];
-        buf[..8].copy_from_slice(&r.t.as_millis().to_le_bytes());
-        buf[8..12].copy_from_slice(&r.ue.get().to_le_bytes());
-        buf[12] = r.device.code();
-        buf[13] = r.event.code();
-        self.sink.write_all(&buf)?;
+        self.sink.write_all(&encode_record(r))?;
         self.count += 1;
         Ok(())
     }
@@ -446,6 +473,20 @@ mod tests {
         write_jsonl(&t, &mut buf).unwrap();
         let back = read_jsonl(&buf[..]).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn record_frame_round_trips_and_rejects_bad_codes() {
+        for r in sample().iter() {
+            let frame = encode_record(r);
+            assert_eq!(decode_record(&frame).unwrap(), *r);
+        }
+        let mut frame = encode_record(sample().iter().next().unwrap());
+        frame[12] = 0xFF;
+        assert!(matches!(decode_record(&frame), Err(IoError::Binary(_))));
+        frame[12] = DeviceType::Phone.code();
+        frame[13] = 0xFE;
+        assert!(matches!(decode_record(&frame), Err(IoError::Binary(_))));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod time;
 pub mod trace;
 pub mod validate;
 
-pub use block::EncodedBlock;
+pub use block::{EncodedBlock, RECORD_BYTES};
 pub use device::{DeviceType, PopulationMix};
 pub use event::{EventCategory, EventType};
 pub use merge::{KeyLoserTree, LoserTree, EXHAUSTED_KEY};

@@ -1,0 +1,298 @@
+//! Live-service smoke gate: wire fidelity, drift, and kill/resume.
+//!
+//! ```text
+//! cargo run --release -p cn-verify --bin live_check [-- --metrics obs.json]
+//! ```
+//!
+//! Serves a 20K-UE, one-hour perturbed scenario through `cn-live` at
+//! 3600x time compression (one trace hour per wall second) to a
+//! localhost TCP consumer, and gates on three properties:
+//!
+//! * **wire fidelity** — the bytes the consumer captures are the batch
+//!   engine's binary trace payload byte for byte (no gaps, End marker
+//!   at the exact watermark, count-placeholder header);
+//! * **bounded drift** — p99 per-record emission lag behind the
+//!   absolute deadline stays under the gate (pacing jitter is expected
+//!   at 240K records/wall-second; *accumulating* lag is the failure
+//!   mode being gated);
+//! * **kill/resume exactness** — stopping the server a third of the way
+//!   in and resuming a fresh one from the checkpoint file reproduces
+//!   the same total byte stream.
+//!
+//! `--metrics PATH` writes the `cn_live_*` family (plus the scenario
+//! counters) of the full serve as a cn-obs JSON snapshot. Exits
+//! non-zero on any gate failure.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use cn_gen::{GenConfig, ShardedStream};
+use cn_live::{capture, Checkpoint, LiveConfig, LiveServer, SystemClock};
+use cn_obs::Registry;
+use cn_scenario::{
+    Phase, PhaseKind, ScenarioSpec, ScenarioStream, StormKind, TimeWindow, UeSubset,
+};
+use cn_trace::{io::to_binary, DeviceType, PopulationMix, Timestamp, Trace};
+use cn_verify::GroundTruth;
+
+/// Fit the ground-truth models once; both the batch reference and every
+/// serve span draw from the same set.
+fn gt() -> &'static GroundTruth {
+    static GT: OnceLock<GroundTruth> = OnceLock::new();
+    GT.get_or_init(|| GroundTruth::standard(11))
+}
+
+/// One trace hour per wall second.
+const COMPRESSION: f64 = 3600.0;
+/// p99 per-record emission lag gate, in milliseconds.
+const P99_LAG_GATE_MS: u64 = 5_000;
+
+fn live_config() -> GenConfig {
+    // The gen_bench 20K shape: 12_500 phones, 5_000 connected cars,
+    // 2_500 tablets, over a single hour.
+    GenConfig::new(
+        PopulationMix::new(12_500, 5_000, 2_500),
+        Timestamp::at_hour(0, 6),
+        1.0,
+        2023,
+    )
+}
+
+/// A storm-and-fleet scenario sized for the 20K population: a paging
+/// storm over a 2K-UE slice and a synchronized metering fleet.
+fn live_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "live-smoke".into(),
+        seed: 0x11FE_57A6,
+        phases: vec![
+            Phase {
+                name: "paging-burst".into(),
+                window: TimeWindow::new(600.0, 600.0),
+                kind: PhaseKind::SignalingStorm {
+                    ues: UeSubset::new(0, 2_000),
+                    kind: StormKind::Paging,
+                    bursts_per_ue: 2,
+                },
+            },
+            Phase {
+                name: "meter-fleet".into(),
+                window: TimeWindow::new(1800.0, 900.0),
+                kind: PhaseKind::M2mReporting {
+                    ues: UeSubset::new(17_500, 18_500),
+                    period_s: 60.0,
+                    device: DeviceType::Tablet,
+                },
+            },
+        ],
+    }
+}
+
+/// Read one consumer's whole wire stream off a TCP connection.
+fn drain_tcp(addr: std::net::SocketAddr) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect to live server");
+        let mut bytes = Vec::new();
+        std::io::Read::read_to_end(&mut stream, &mut bytes).expect("drain live stream");
+        bytes
+    })
+}
+
+fn await_consumers(server: &LiveServer<SystemClock>, n: usize) {
+    for _ in 0..10_000 {
+        if server.hub().consumer_count() >= n {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    panic!("consumer never attached to the live server");
+}
+
+/// Serve `[resume_from, stop_after)` of the scenario stream over TCP and
+/// return (wire bytes, emitted watermark).
+fn serve_span(
+    spec: &ScenarioSpec,
+    config: &GenConfig,
+    registry: &Registry,
+    resume_from: u64,
+    stop_after: Option<u64>,
+    ckpt: Option<(PathBuf, Checkpoint)>,
+) -> (Vec<u8>, u64) {
+    let mut cfg = LiveConfig::new(COMPRESSION);
+    cfg.queue_frames = 1 << 16;
+    cfg.stop_after = stop_after;
+    let server = LiveServer::new(SystemClock::new(), cfg, registry).expect("server config");
+    let addr = server.bind("127.0.0.1:0").expect("bind localhost");
+    let consumer = drain_tcp(addr);
+    await_consumers(&server, 1);
+    let source = ScenarioStream::new(
+        spec,
+        config,
+        ShardedStream::new(&gt().set, config),
+        &Registry::disabled(),
+    );
+    let report = server
+        .serve(source.expect("valid scenario spec"), resume_from, ckpt)
+        .expect("serve");
+    let report_consumer = report.consumers[0].as_ref().expect("consumer writer");
+    report_consumer
+        .verdict()
+        .expect("consumer lagged: bounded queue overflowed during the gate");
+    (consumer.join().expect("consumer thread"), report.emitted)
+}
+
+fn main() {
+    let mut metrics: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics" => metrics = Some(args.next().expect("--metrics needs a path")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let config = live_config();
+    let spec = live_spec();
+
+    // Batch reference: the same scenario drained by the batch engine.
+    eprintln!("live_check: building the batch reference trace...");
+    let batch: Trace = {
+        let mut stream = ScenarioStream::new(
+            &spec,
+            &config,
+            ShardedStream::new(&gt().set, &config),
+            &Registry::disabled(),
+        )
+        .expect("valid scenario spec");
+        let mut out = Vec::new();
+        while let Some(r) = stream.try_next().expect("batch stream") {
+            out.push(r);
+        }
+        stream.finish().expect("batch finish");
+        out.into_iter().collect()
+    };
+    let payload = to_binary(&batch);
+    let total = batch.len() as u64;
+    println!(
+        "live_check: {} records over {}h of trace at {}x compression",
+        total, config.duration_hours, COMPRESSION
+    );
+
+    // Gate 1+2: full serve — wire fidelity and bounded drift.
+    let registry = Registry::new();
+    let t0 = std::time::Instant::now();
+    let (wire, emitted) = serve_span(&spec, &config, &registry, 0, None, None);
+    let wall = t0.elapsed();
+    assert_eq!(emitted, total);
+    // Wire layout: 16-byte zero-count header, record frames, End frame.
+    assert_eq!(&wire[0..8], cn_trace::io::BINARY_MAGIC, "bad wire magic");
+    assert_eq!(
+        &wire[8..16],
+        &0u64.to_le_bytes(),
+        "live header count must be the zero placeholder"
+    );
+    let frames = &wire[16..];
+    assert_eq!(
+        frames.len(),
+        (total as usize + 1) * cn_trace::RECORD_BYTES,
+        "wire carries exactly the records plus one End frame"
+    );
+    let (records_wire, end_frame) = frames.split_at(total as usize * cn_trace::RECORD_BYTES);
+    assert_eq!(
+        records_wire,
+        &payload[16..],
+        "served bytes diverge from the batch engine payload"
+    );
+    match cn_live::decode_frame(end_frame.try_into().unwrap()).expect("end frame") {
+        cn_live::Frame::End { emitted } => assert_eq!(emitted, total),
+        other => panic!("stream ended with {other:?}, not an End marker"),
+    }
+    println!(
+        "wire fidelity: {} bytes byte-identical to batch payload",
+        records_wire.len()
+    );
+
+    let snapshot = registry.snapshot();
+    let lag = snapshot.histogram("cn_live_lag_ms").expect("lag histogram");
+    let p50 = lag.quantile_upper_bound(0.50).unwrap_or(0);
+    let p99 = lag.quantile_upper_bound(0.99).unwrap_or(0);
+    let p100 = lag.quantile_upper_bound(1.0).unwrap_or(0);
+    println!(
+        "emission lag ms: p50<={p50} p99<={p99} max<={p100} (wall {:.2?}, gate p99<={P99_LAG_GATE_MS})",
+        wall
+    );
+    assert!(
+        p99 <= P99_LAG_GATE_MS,
+        "p99 emission lag {p99} ms exceeds the {P99_LAG_GATE_MS} ms gate"
+    );
+    assert_eq!(
+        snapshot.counter("cn_live_emitted_total"),
+        Some(total),
+        "emitted counter out of step"
+    );
+
+    // Gate 3: kill a third of the way in, resume from the checkpoint.
+    let ckpt_path = std::env::temp_dir().join(format!("cn-live-check-{}.json", std::process::id()));
+    let template = Checkpoint {
+        emitted: 0,
+        compression: COMPRESSION,
+        config,
+        scenario: Some(spec.clone()),
+    };
+    let cut = total / 3;
+    let drill = Registry::new();
+    let (wire_a, emitted_a) = serve_span(
+        &spec,
+        &config,
+        &drill,
+        0,
+        Some(cut),
+        Some((ckpt_path.clone(), template.clone())),
+    );
+    assert_eq!(emitted_a, cut);
+    let ckpt = Checkpoint::load(&ckpt_path).expect("load checkpoint");
+    assert_eq!(
+        ckpt.emitted, cut,
+        "final checkpoint must carry the exact watermark"
+    );
+    let resumed_spec = ckpt
+        .scenario
+        .clone()
+        .expect("checkpoint carries the scenario");
+    let (wire_b, emitted_b) = serve_span(
+        &resumed_spec,
+        &ckpt.config,
+        &drill,
+        ckpt.emitted,
+        None,
+        Some((ckpt_path.clone(), template)),
+    );
+    std::fs::remove_file(&ckpt_path).ok();
+    assert_eq!(emitted_b, total);
+    // First span: header + cut records, no End. Second: header + the
+    // remaining records + End. Concatenated payloads = batch payload.
+    let captured_a = capture(&wire_a[..]).expect("parse first span");
+    assert_eq!(
+        captured_a.end, None,
+        "killed span must not carry an End marker"
+    );
+    let mut joined = wire_a[16..].to_vec();
+    joined.extend_from_slice(&wire_b[16..wire_b.len() - cn_trace::RECORD_BYTES]);
+    assert_eq!(
+        joined,
+        &payload[16..],
+        "kill/resume did not reproduce the byte stream"
+    );
+    println!(
+        "kill/resume: {} + {} records splice byte-exactly at watermark {}",
+        captured_a.records.len(),
+        (joined.len() / cn_trace::RECORD_BYTES) - captured_a.records.len(),
+        cut
+    );
+
+    if let Some(path) = metrics {
+        std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");
+        eprintln!("wrote {path}");
+    }
+    println!("live_check: all gates passed");
+}

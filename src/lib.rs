@@ -64,8 +64,10 @@ pub use cn_eval as eval;
 pub use cn_fit as fit_crate;
 pub use cn_fivegee as fiveg;
 pub use cn_gen as gen;
+pub use cn_live as live;
 pub use cn_mcn as mcn;
 pub use cn_obs as obs;
+pub use cn_scenario as scenario;
 pub use cn_statemachine as statemachine;
 pub use cn_stats as stats;
 pub use cn_trace as trace;
