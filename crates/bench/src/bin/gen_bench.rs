@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin gen_bench \
-//!     [-- out.json] [--gate MIN] [--metrics obs.json]
+//!     [-- out.json] [--gate MIN] [--metrics obs.json] \
+//!     [--introspect 127.0.0.1:9100] [--trace trace.json]
 //! ```
 //!
 //! The protocol (see `bench::bench_json` for the format contract):
@@ -49,6 +50,15 @@
 //! the memory fails the build; that is the out-of-core contract. A 10M-UE
 //! point exists behind `--deep-scale` for manual runs — it is I/O-heavy
 //! and deliberately not part of CI.
+//!
+//! `--introspect ADDR` mounts the standalone introspection plane (the
+//! same `/metrics`, `/status`, `/recorder` listener `cn-live` embeds)
+//! over a bench-progress registry, so a long run can be watched from
+//! `curl` or Prometheus while it executes. `--trace PATH` installs a
+//! global trace sink and writes the run's stage spans (shard drains,
+//! merge windows, out-of-core chunk/spill/merge) as Perfetto-loadable
+//! Chrome trace-event JSON; traced runs do strictly more work, so never
+//! compare their timings against untraced baselines.
 
 use bench::{
     bench_json, check_snapshot_events, measure_reps, measure_scale_point, run_sequential,
@@ -87,6 +97,8 @@ fn main() {
     let mut rss_gate: Option<f64> = None;
     let mut deep_scale = false;
     let mut metrics: Option<String> = None;
+    let mut introspect: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--gate" {
@@ -99,9 +111,39 @@ fn main() {
             deep_scale = true;
         } else if a == "--metrics" {
             metrics = Some(args.next().expect("--metrics needs a path"));
+        } else if a == "--introspect" {
+            introspect = Some(args.next().expect("--introspect needs an address"));
+        } else if a == "--trace" {
+            trace_out = Some(args.next().expect("--trace needs a path"));
         } else {
             out = a;
         }
+    }
+
+    // Standalone introspection plane: a progress registry scraped over
+    // HTTP while the benchmark runs. Phase-granular (one update per
+    // measured point, never inside a timed region), so mounting it
+    // cannot move the numbers it reports on.
+    let progress = cn_obs::Registry::new();
+    let progress_phases = progress.counter("bench_phases_total");
+    let progress_events = progress.counter("bench_events_total");
+    let progress_wall = progress.histogram("bench_wall_ms");
+    let _introspection = introspect.as_ref().map(|addr| {
+        let recorder = cn_obs::FlightRecorder::start(&progress, cn_obs::RecorderConfig::default())
+            .expect("start flight recorder");
+        let srv = cn_obs::IntrospectionServer::bind(addr, &progress, Some(recorder))
+            .expect("bind introspection address");
+        eprintln!("introspection plane at http://{}/metrics", srv.local_addr());
+        srv
+    });
+    // Collect stage spans (shard drains, merge windows, out-of-core
+    // phases) across the run; written as Chrome trace-event JSON at the
+    // end. Opt-in because the instrumented paths do strictly more work
+    // with a sink installed — never combine with `--gate` numbers you
+    // intend to compare against an untraced run.
+    let trace_sink = cn_obs::TraceSink::new();
+    if trace_out.is_some() {
+        cn_obs::trace::install_global(&trace_sink);
     }
 
     // Fit once at modest scale; generation cost, not fitting cost, is what
@@ -131,6 +173,9 @@ fn main() {
             "  WARNING: median below {MIN_WALL_MS:.0} ms — workload too small to outrun noise; re-size it"
         );
     }
+    progress_phases.inc();
+    progress_events.add(baseline.events);
+    progress_wall.record(baseline.wall_ms_median as u64);
 
     let cores = effective_parallelism();
     // Always measure two shard counts. On a single-core box the "parallel"
@@ -153,6 +198,9 @@ fn main() {
             stats.events_per_sec,
             p.speedup_vs_baseline
         );
+        progress_phases.inc();
+        progress_events.add(stats.events);
+        progress_wall.record(stats.wall_ms_median as u64);
         points.push(p);
     }
 
@@ -218,6 +266,9 @@ fn main() {
             "  {} events in {:.0} ms ({:.0} events/s), peak RSS {:.1} MiB, {}/{} runs spilled",
             s.events, s.wall_ms, s.events_per_sec, s.peak_rss_mb, s.spilled_runs, s.runs
         );
+        progress_phases.inc();
+        progress_events.add(s.events);
+        progress_wall.record(s.wall_ms as u64);
         scaling.push(s);
     }
 
@@ -233,6 +284,12 @@ fn main() {
     std::fs::write(&out, &json).expect("write bench json");
     print!("{json}");
     eprintln!("wrote {out}");
+
+    if let Some(path) = &trace_out {
+        cn_obs::trace::clear_global();
+        std::fs::write(path, trace_sink.to_chrome_json()).expect("write trace JSON");
+        eprintln!("wrote {path} ({} stage spans)", trace_sink.len());
+    }
 
     if let Some(min) = gate {
         let p1 = points

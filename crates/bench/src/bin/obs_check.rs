@@ -3,7 +3,8 @@
 //! `BENCH_gen.json`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin obs_check -- obs.json BENCH_gen.json
+//! cargo run --release -p bench --bin obs_check -- obs.json BENCH_gen.json \
+//!     [--recorder rec.jsonl] [--forensics forensics.json]
 //! ```
 //!
 //! Exits non-zero unless all of:
@@ -23,6 +24,14 @@
 //!   state that must never pass; so is a balanced ledger claiming worker
 //!   failures (contradictory evidence). See
 //!   [`bench::check_snapshot_accounted`].
+//!
+//! With `--recorder PATH` the flight-recorder JSONL stream must also
+//! validate (every line parses as a frame, timestamps strictly increase,
+//! counters are monotone, window rates are finite); with `--forensics
+//! PATH` the crash dump must validate the same way plus carry a terminal
+//! snapshot at least as advanced as its last frame. See
+//! [`cn_obs::recorder::validate_jsonl`] and
+//! [`cn_obs::recorder::validate_forensics`].
 //!
 //! `gen_bench` already enforces the ledger in-process; this binary proves
 //! the property survives the trip through the filesystem and the JSON
@@ -54,9 +63,48 @@ fn as_count(v: &JsonValue) -> Option<u64> {
 }
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut recorder: Option<String> = None;
+    let mut forensics: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let obs_path = args.next().unwrap_or_else(|| "obs.json".to_string());
-    let bench_path = args.next().unwrap_or_else(|| "BENCH_gen.json".to_string());
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--recorder" => {
+                recorder = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--recorder needs a path")),
+                )
+            }
+            "--forensics" => {
+                forensics = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--forensics needs a path")),
+                )
+            }
+            other if other.starts_with("--") => fail(&format!("unknown flag: {other}")),
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let obs_path = positional.next().unwrap_or_else(|| "obs.json".to_string());
+    let bench_path = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_gen.json".to_string());
+
+    if let Some(path) = &recorder {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let n = cn_obs::recorder::validate_jsonl(&text)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        println!("obs_check ok: {path} carries {n} valid flight-recorder frames");
+    }
+    if let Some(path) = &forensics {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let n = cn_obs::recorder::validate_forensics(&text)
+            .unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        println!("obs_check ok: {path} is a valid {n}-frame forensics dump");
+    }
 
     let obs_text = std::fs::read_to_string(&obs_path)
         .unwrap_or_else(|e| fail(&format!("cannot read {obs_path}: {e}")));

@@ -127,6 +127,9 @@ static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 /// immediately unlinked so the kernel reclaims it when the handle drops —
 /// a crash mid-export leaks no on-disk state.
 fn create_spill_file(occ: &OutOfCoreConfig) -> Result<File, StreamError> {
+    // Spills are cold (one per run that exceeds the budget, each
+    // involving file I/O), so resolving the global sink here is fine.
+    let _spill_span = cn_obs::trace::global_span("cn_gen_ooc_spill");
     let dir = occ.temp_dir.clone().unwrap_or_else(std::env::temp_dir);
     let path = dir.join(format!(
         "cn-gen-spill-{}-{}.run",
@@ -319,6 +322,10 @@ pub fn generate_out_of_core<W: Write + Seek>(
     sink: W,
 ) -> Result<(OutOfCoreReport, W), StreamError> {
     let mut writer = BinaryStreamWriter::new(sink).map_err(|e| io_err("export-header", e))?;
+    // One sink resolution for the whole export; everything below runs
+    // on this thread, so chunk/spill/merge spans nest under this one.
+    let trace = cn_obs::trace::global();
+    let _export_span = trace.is_enabled().then(|| trace.span("cn_gen_ooc_export"));
 
     // Phase 1: one sorted, arena-encoded run per UE-range chunk.
     let total = config.population.total();
@@ -328,6 +335,9 @@ pub fn generate_out_of_core<W: Write + Seek>(
     let mut lo = 0u32;
     while lo < total {
         let hi = lo.saturating_add(chunk).min(total);
+        let chunk_span = trace
+            .is_enabled()
+            .then(|| trace.span(&format!("cn_gen_ooc_chunk:{lo}-{hi}")));
         let mut pool = UePool::new(models, config, lo..hi);
         let mut store = RunStore::new();
         let mut block = EncodedBlock::with_capacity(CHUNK_BLOCK_RECORDS);
@@ -342,12 +352,14 @@ pub fn generate_out_of_core<W: Write + Seek>(
             store.append(block.as_bytes(), &mut buffered, occ)?;
         }
         runs.push(store);
+        drop(chunk_span);
         lo = hi;
     }
     let run_count = runs.len();
     let spilled_runs = runs.iter().filter(|r| r.is_spilled()).count();
 
     // Phase 2: zero-copy k-way merge over the encoded runs.
+    let _merge_span = trace.is_enabled().then(|| trace.span("cn_gen_ooc_merge"));
     let mut readers = runs
         .into_iter()
         .map(RunReader::new)

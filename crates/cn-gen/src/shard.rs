@@ -113,7 +113,7 @@ use crate::fault::{FaultHook, FaultPlan, NoFault};
 use crate::pool::UePool;
 use crate::stream::PopulationStream;
 use cn_fit::ModelSet;
-use cn_obs::{Counter, Histogram, HistogramSnapshot, Registry};
+use cn_obs::{Counter, Histogram, HistogramSnapshot, Registry, TraceSink, TraceSpan};
 use cn_trace::{LoserTree, TraceRecord};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -364,25 +364,35 @@ struct MergeObs {
     /// runs mean the merge is amortizing well, a spike of 1s means the
     /// shards are interleaving record-by-record.
     run_len: Histogram,
-    /// Whether a live registry is attached (skip all local bookkeeping
-    /// otherwise, keeping the unobserved path untouched).
-    observed: bool,
+    /// Whether a live registry or trace sink is attached (skip all
+    /// local bookkeeping otherwise, keeping the unobserved path
+    /// untouched).
+    active: bool,
     /// Locally accumulated event count since the last flush.
     pending_events: u64,
     /// Locally accumulated run-length observations since the last flush.
     pending_runs: HistogramSnapshot,
+    /// The global trace sink, resolved once at registration.
+    trace: TraceSink,
+    /// One trace span per flush window (`cn_gen_merge_window`) — the
+    /// same granularity the batched telemetry flushes at, so tracing
+    /// adds nothing to the per-run path beyond an `is_none` check.
+    window_span: Option<TraceSpan>,
 }
 
 impl MergeObs {
     fn register(registry: &Registry) -> MergeObs {
         let events = registry.counter("cn_gen_merge_events_total");
-        let observed = events.is_enabled();
+        let trace = cn_obs::trace::global();
+        let active = events.is_enabled() || trace.is_enabled();
         MergeObs {
             events,
             run_len: registry.histogram("cn_gen_merge_run_len"),
-            observed,
+            active,
             pending_events: 0,
             pending_runs: HistogramSnapshot::new(),
+            trace,
+            window_span: None,
         }
     }
 
@@ -390,8 +400,11 @@ impl MergeObs {
     /// flush when the window fills.
     #[inline]
     fn on_run(&mut self, len: u64) {
-        if !self.observed {
+        if !self.active {
             return;
+        }
+        if self.trace.is_enabled() && self.window_span.is_none() {
+            self.window_span = Some(self.trace.span("cn_gen_merge_window"));
         }
         self.pending_events += len;
         self.pending_runs.record(len);
@@ -400,11 +413,13 @@ impl MergeObs {
         }
     }
 
-    /// Fold the locally batched counts into the shared registry handles.
+    /// Fold the locally batched counts into the shared registry handles
+    /// and close the window's trace span.
     fn flush(&mut self) {
-        if !self.observed {
+        if !self.active {
             return;
         }
+        drop(self.window_span.take());
         if self.pending_events > 0 {
             self.events.add(std::mem::take(&mut self.pending_events));
         }
@@ -437,6 +452,10 @@ struct ParallelStream {
     collected: Option<Vec<WorkerOutcome>>,
     registry: Registry,
     workers: Vec<JoinHandle<()>>,
+    /// Open from spawn to shutdown (`cn_gen_parallel_stream`): the
+    /// umbrella under which merge windows nest in the timeline. Boxed
+    /// to keep the stream enum's parallel variant lean.
+    stream_span: Option<Box<TraceSpan>>,
 }
 
 impl<'m> ShardedStream<'m> {
@@ -758,6 +777,11 @@ impl ParallelStream {
         fault_for: impl Fn(usize) -> F,
     ) -> ParallelStream {
         let config = *config;
+        // Resolved once for the whole stream; workers clone the handle.
+        let trace = cn_obs::trace::global();
+        let stream_span = trace
+            .is_enabled()
+            .then(|| Box::new(trace.span("cn_gen_parallel_stream")));
         let mut cursors = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         let mut slots = Vec::with_capacity(shards);
@@ -768,12 +792,19 @@ impl ParallelStream {
             let slot: Arc<OnceLock<WorkerOutcome>> = Arc::new(OnceLock::new());
             let worker_slot = Arc::clone(&slot);
             let mut fault = fault_for(shard);
+            let worker_trace = trace.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cn-gen-shard-{shard}"))
                 .spawn(move || {
+                    // One span covering this worker's whole drain: shard
+                    // workers show up side by side in the timeline.
+                    let drain_span = worker_trace
+                        .is_enabled()
+                        .then(|| worker_trace.span(&format!("cn_gen_shard_drain:{shard}")));
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         shard_worker(&models, &config, shard, shards, &tx, &obs, &mut fault)
                     }));
+                    drop(drain_span);
                     let outcome = match run {
                         Ok(WorkerRun::Completed { events }) => WorkerOutcome::Completed { events },
                         Ok(WorkerRun::ConsumerGone) => WorkerOutcome::Cancelled,
@@ -823,6 +854,7 @@ impl ParallelStream {
             collected: None,
             registry: registry.clone(),
             workers,
+            stream_span,
         }
     }
 
@@ -895,6 +927,7 @@ impl ParallelStream {
             // finished, or poisoned stream still accounts for what it
             // actually emitted.
             self.obs.flush();
+            drop(self.stream_span.take());
             // Drop the receivers first: any worker blocked on a full
             // channel fails its send and exits.
             self.shards.clear();

@@ -9,6 +9,11 @@
 //! * queue has room → the frame is enqueued; the high-watermark gauge
 //!   `cn_live_backlog_blocks` tracks the deepest any queue has been
 //!   (one block = one queued 14-byte frame);
+//!   per-consumer twins (`cn_live_consumer_backlog_blocks`,
+//!   `cn_live_consumer_drops_total`, `cn_live_consumer_frames_total`,
+//!   all labeled `{consumer="id"}`) are registered at accept time so
+//!   `/status` can say *which* consumer is the slow one — the
+//!   broadcaster-wide totals are kept unchanged alongside;
 //! * queue is full → the frame is **dropped for that consumer only**,
 //!   counted in `cn_live_drops_total`, and folded into a pending gap
 //!   marker that is enqueued at the next opportunity — so the gap
@@ -79,6 +84,15 @@ struct ConsumerSlot {
     /// enqueued at the next successful send.
     pending_gap: u64,
     dead: bool,
+    /// `cn_live_consumer_drops_total{consumer="id"}` — this consumer's
+    /// own drop series (the unlabeled total is kept alongside).
+    drops: Counter,
+    /// `cn_live_consumer_backlog_blocks{consumer="id"}` — this
+    /// consumer's queue-depth high watermark. Per-consumer *lag* is this
+    /// backlog: emission lag (`cn_live_lag_ms`) is broadcaster-wide by
+    /// construction, and a consumer falls behind exactly by letting its
+    /// queue deepen.
+    backlog: Gauge,
 }
 
 /// Handle on one consumer's writer thread.
@@ -120,12 +134,16 @@ pub struct Hub {
     next_id: AtomicUsize,
     drops_total: Counter,
     backlog: Gauge,
+    /// Kept so per-consumer series can be registered at accept time —
+    /// consumer ids are only known then, not at hub construction.
+    registry: Registry,
 }
 
 impl Hub {
     /// A hub whose per-consumer queues hold `queue_frames` frames.
-    /// Metrics (`cn_live_drops_total`, `cn_live_backlog_blocks`) land in
-    /// `registry`.
+    /// Metrics (`cn_live_drops_total`, `cn_live_backlog_blocks`, and
+    /// the per-consumer `cn_live_consumer_*{consumer="id"}` series
+    /// registered on accept) land in `registry`.
     pub fn new(queue_frames: usize, registry: &Registry) -> Hub {
         debug_assert!(queue_frames > 0, "unvalidated zero queue depth");
         Hub {
@@ -135,6 +153,7 @@ impl Hub {
             next_id: AtomicUsize::new(0),
             drops_total: registry.counter("cn_live_drops_total"),
             backlog: registry.gauge("cn_live_backlog_blocks"),
+            registry: registry.clone(),
         }
     }
 
@@ -143,6 +162,8 @@ impl Hub {
     /// consumer id (accept order).
     pub fn add_writer<W: Write + Send + 'static>(&self, sink: W) -> usize {
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let id_str = id.to_string();
+        let consumer_label: [(&str, &str); 1] = [("consumer", id_str.as_str())];
         let (tx, rx) = std::sync::mpsc::sync_channel::<[u8; FRAME_BYTES]>(self.queue_frames);
         let inflight = Arc::new(AtomicU64::new(0));
         let dropped = Arc::new(AtomicU64::new(0));
@@ -152,8 +173,18 @@ impl Hub {
             dropped: Arc::clone(&dropped),
             pending_gap: 0,
             dead: false,
+            drops: self
+                .registry
+                .counter_with("cn_live_consumer_drops_total", &consumer_label),
+            backlog: self
+                .registry
+                .gauge_with("cn_live_consumer_backlog_blocks", &consumer_label),
         };
-        let join = std::thread::spawn(move || writer_loop(id, sink, rx, inflight, dropped));
+        let frames_total = self
+            .registry
+            .counter_with("cn_live_consumer_frames_total", &consumer_label);
+        let join =
+            std::thread::spawn(move || writer_loop(id, sink, rx, inflight, dropped, frames_total));
         self.consumers.lock().unwrap().push(slot);
         self.handles
             .lock()
@@ -223,8 +254,9 @@ impl Hub {
         slot.inflight.fetch_add(1, Ordering::AcqRel);
         match slot.tx.try_send(frame) {
             Ok(()) => {
-                self.backlog
-                    .record_max(slot.inflight.load(Ordering::Acquire));
+                let depth = slot.inflight.load(Ordering::Acquire);
+                self.backlog.record_max(depth);
+                slot.backlog.record_max(depth);
                 Ok(())
             }
             Err(e) => {
@@ -238,6 +270,7 @@ impl Hub {
         slot.pending_gap += 1;
         slot.dropped.fetch_add(1, Ordering::AcqRel);
         self.drops_total.inc();
+        slot.drops.inc();
     }
 
     /// Blocking-ish send used only at stream end, with a bounded
@@ -316,6 +349,7 @@ fn writer_loop<W: Write>(
     rx: Receiver<[u8; FRAME_BYTES]>,
     inflight: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
+    frames_total: Counter,
 ) -> Result<ConsumerReport, StreamError> {
     let mut out = BufWriter::new(sink);
     out.write_all(BINARY_MAGIC).map_err(io_err("live-header"))?;
@@ -325,6 +359,7 @@ fn writer_loop<W: Write>(
     let mut write = |out: &mut BufWriter<W>, frame: [u8; FRAME_BYTES]| {
         inflight.fetch_sub(1, Ordering::AcqRel);
         frames_written += 1;
+        frames_total.inc();
         out.write_all(&frame).map_err(io_err("live-write"))
     };
     loop {

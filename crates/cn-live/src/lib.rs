@@ -47,4 +47,6 @@ pub use frame::{
 };
 pub use hub::{ConsumerHandle, ConsumerReport, Hub};
 pub use pace::Pacer;
-pub use server::{LiveConfig, LiveError, LiveReport, LiveServer, ServerHandle};
+pub use server::{
+    IntrospectionConfig, LiveConfig, LiveError, LiveReport, LiveServer, ServerHandle,
+};

@@ -18,9 +18,15 @@
 //! record into the `cn_live_lag_ms` histogram and decays to zero as soon
 //! as the server catches up.
 
-use cn_obs::Histogram;
+use cn_obs::{Histogram, TraceSink};
 
 use crate::clock::Clock;
+
+/// Sleeps projected to last at least this long get a trace span; the
+/// threshold keeps sleep-vs-emit visible in Perfetto without producing
+/// one event per record at high compression (where inter-record sleeps
+/// are sub-microsecond and mostly elided by the deadline math anyway).
+const TRACE_SLEEP_MIN_NS: u64 = 100_000;
 
 /// Absolute-deadline scheduler for one serve run.
 pub struct Pacer<'c> {
@@ -30,6 +36,9 @@ pub struct Pacer<'c> {
     origin_trace_ms: u64,
     origin_wall_ns: u64,
     lag_ms: Histogram,
+    /// Resolved once at construction (never per record): the global
+    /// trace sink, for `cn_live_pacer_sleep` spans on long sleeps.
+    trace: TraceSink,
 }
 
 impl<'c> Pacer<'c> {
@@ -52,6 +61,7 @@ impl<'c> Pacer<'c> {
             origin_wall_ns: clock.now_ns(),
             clock,
             lag_ms,
+            trace: cn_obs::trace::global(),
         }
     }
 
@@ -67,7 +77,14 @@ impl<'c> Pacer<'c> {
     /// recorded, in milliseconds, into the `cn_live_lag_ms` histogram.
     pub fn pace(&self, t_ms: u64) -> u64 {
         let deadline = self.deadline_ns(t_ms);
-        self.clock.sleep_until(deadline);
+        if self.trace.is_enabled()
+            && deadline.saturating_sub(self.clock.now_ns()) >= TRACE_SLEEP_MIN_NS
+        {
+            let _sleep = self.trace.span("cn_live_pacer_sleep");
+            self.clock.sleep_until(deadline);
+        } else {
+            self.clock.sleep_until(deadline);
+        }
         let lag_ns = self.clock.now_ns().saturating_sub(deadline);
         self.lag_ms.record(lag_ns / 1_000_000);
         lag_ns

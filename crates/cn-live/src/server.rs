@@ -26,16 +26,27 @@
 //! * `cn_live_backlog_blocks` — deepest any consumer queue has been
 //!   (high-watermark gauge);
 //! * `cn_live_drops_total` — record frames dropped across all consumers
-//!   (counter).
+//!   (counter);
+//! * `cn_live_consumer_{frames_total,drops_total,backlog_blocks}` with
+//!   `{consumer="id"}` — the per-consumer split, registered on accept.
+//!
+//! ### Introspection ([`LiveServer::mount_introspection`])
+//!
+//! An optional HTTP scrape listener (`/metrics`, `/status`,
+//! `/recorder`) plus a [`FlightRecorder`] sampling the registry in the
+//! background; with a forensics path configured, a serve that fails or
+//! stops short of exhaustion dumps its last minute of telemetry to
+//! disk before returning (and, with the panic hook, so does a crash).
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use cn_gen::StreamError;
-use cn_obs::{Counter, Histogram, Registry};
+use cn_obs::recorder::{FlightRecorder, RecorderConfig};
+use cn_obs::{Counter, Histogram, IntrospectionServer, Registry};
 use cn_scenario::RecordSource;
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
@@ -101,6 +112,9 @@ pub enum LiveError {
     Checkpoint(CheckpointError),
     /// Binding or configuring the TCP listener failed.
     Bind(String),
+    /// The introspection plane (HTTP listener or flight recorder)
+    /// could not be set up.
+    Introspection(String),
 }
 
 impl std::fmt::Display for LiveError {
@@ -113,6 +127,9 @@ impl std::fmt::Display for LiveError {
             LiveError::Stream(e) => write!(f, "record source failed: {e}"),
             LiveError::Checkpoint(e) => write!(f, "{e}"),
             LiveError::Bind(msg) => write!(f, "listener setup failed: {msg}"),
+            LiveError::Introspection(msg) => {
+                write!(f, "introspection plane setup failed: {msg}")
+            }
         }
     }
 }
@@ -160,14 +177,59 @@ impl ServerHandle {
     }
 }
 
+/// How a serve run exposes itself at runtime; see
+/// [`LiveServer::mount_introspection`].
+#[derive(Debug, Clone)]
+pub struct IntrospectionConfig {
+    /// Address for the HTTP scrape listener (`"127.0.0.1:0"` lets the
+    /// OS pick a port; the bound address is returned by mount).
+    pub addr: String,
+    /// Flight-recorder tuning (sampling interval, ring size, optional
+    /// JSONL path with rotation).
+    pub recorder: RecorderConfig,
+    /// Where a failure dump lands: a serve that errors or stops before
+    /// exhaustion writes the recorder's ring plus a terminal snapshot
+    /// here. `None` = no forensics on failure.
+    pub forensics_path: Option<PathBuf>,
+    /// Also chain a process panic hook that writes the same dump (only
+    /// meaningful with `forensics_path` set).
+    pub panic_hook: bool,
+}
+
+impl IntrospectionConfig {
+    /// Ephemeral localhost port, default recorder, no forensics.
+    pub fn new() -> IntrospectionConfig {
+        IntrospectionConfig {
+            addr: "127.0.0.1:0".to_string(),
+            recorder: RecorderConfig::default(),
+            forensics_path: None,
+            panic_hook: false,
+        }
+    }
+}
+
+impl Default for IntrospectionConfig {
+    fn default() -> IntrospectionConfig {
+        IntrospectionConfig::new()
+    }
+}
+
+struct IntrospectionState {
+    http: IntrospectionServer,
+    recorder: FlightRecorder,
+    forensics_path: Option<PathBuf>,
+}
+
 /// A wall-clock-paced traffic server over one generation-engine stream.
 pub struct LiveServer<C: Clock> {
     clock: C,
     cfg: LiveConfig,
     hub: Arc<Hub>,
+    registry: Registry,
     emitted_total: Counter,
     lag_ms: Histogram,
     stop: Arc<AtomicBool>,
+    introspection: Mutex<Option<IntrospectionState>>,
 }
 
 impl<C: Clock> LiveServer<C> {
@@ -176,12 +238,66 @@ impl<C: Clock> LiveServer<C> {
         cfg.validate()?;
         Ok(LiveServer {
             hub: Arc::new(Hub::new(cfg.queue_frames, registry)),
+            registry: registry.clone(),
             emitted_total: registry.counter("cn_live_emitted_total"),
             lag_ms: registry.histogram("cn_live_lag_ms"),
             stop: Arc::new(AtomicBool::new(false)),
+            introspection: Mutex::new(None),
             clock,
             cfg,
         })
+    }
+
+    /// Mount the runtime introspection plane next to the traffic port:
+    /// start a [`FlightRecorder`] over this server's registry and an
+    /// HTTP listener serving `/metrics`, `/status`, and `/recorder`.
+    /// Returns the listener's bound address. With a `forensics_path`
+    /// configured, a serve run that fails (source fault) or stops short
+    /// of exhaustion (kill drill, [`ServerHandle::stop`]) dumps the
+    /// ring plus a terminal snapshot there before returning — and with
+    /// `panic_hook`, so does a crash.
+    pub fn mount_introspection(&self, cfg: IntrospectionConfig) -> Result<SocketAddr, LiveError> {
+        let recorder = FlightRecorder::start(&self.registry, cfg.recorder)
+            .map_err(|e| LiveError::Introspection(format!("flight recorder: {e}")))?;
+        let http = IntrospectionServer::bind(&cfg.addr, &self.registry, Some(recorder.clone()))
+            .map_err(|e| LiveError::Introspection(format!("http listener: {e}")))?;
+        if cfg.panic_hook {
+            if let Some(path) = &cfg.forensics_path {
+                recorder.install_panic_hook(path);
+            }
+        }
+        let addr = http.local_addr();
+        *self.introspection.lock().unwrap() = Some(IntrospectionState {
+            http,
+            recorder,
+            forensics_path: cfg.forensics_path,
+        });
+        Ok(addr)
+    }
+
+    /// The mounted flight recorder, if [`LiveServer::mount_introspection`]
+    /// ran (for in-process status readers like `examples/live_replay`).
+    pub fn recorder(&self) -> Option<FlightRecorder> {
+        self.introspection
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.recorder.clone())
+    }
+
+    /// Write the forensics dump now (no-op unless introspection is
+    /// mounted with a forensics path). The serve loop calls this on its
+    /// failure paths; it is public so operators' own supervision code
+    /// can force a dump too.
+    pub fn dump_forensics(&self) {
+        let state = self.introspection.lock().unwrap();
+        if let Some(state) = state.as_ref() {
+            if let Some(path) = &state.forensics_path {
+                if let Err(e) = state.recorder.dump_forensics(path) {
+                    eprintln!("cn-live: forensics dump to {} failed: {e}", path.display());
+                }
+            }
+        }
     }
 
     /// The fan-out hub, for attaching in-process consumers directly
@@ -226,6 +342,28 @@ impl<C: Clock> LiveServer<C> {
     /// saved there with the template's config/scenario/compression and
     /// the live watermark.
     pub fn serve<S: RecordSource>(
+        &self,
+        source: S,
+        resume_from: u64,
+        checkpoint: Option<(PathBuf, Checkpoint)>,
+    ) -> Result<LiveReport, LiveError> {
+        let trace = cn_obs::trace::global();
+        let _serve_span = cn_obs::Span::start_traced(&self.registry, "cn_live_serve_ns", &trace);
+        let result = self.serve_inner(source, resume_from, checkpoint);
+        // A failed serve — source fault *or* a stop short of exhaustion
+        // (kill drill, operator stop) — leaves its last minute of
+        // telemetry on disk before anyone tears the process down.
+        let failed = match &result {
+            Err(_) => true,
+            Ok(report) => !report.completed,
+        };
+        if failed {
+            self.dump_forensics();
+        }
+        result
+    }
+
+    fn serve_inner<S: RecordSource>(
         &self,
         mut source: S,
         resume_from: u64,
@@ -291,6 +429,16 @@ impl<C: Clock> LiveServer<C> {
             completed,
             consumers,
         })
+    }
+}
+
+impl<C: Clock> Drop for LiveServer<C> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(state) = self.introspection.lock().unwrap().take() {
+            state.recorder.stop();
+            state.http.stop();
+        }
     }
 }
 

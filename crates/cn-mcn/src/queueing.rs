@@ -128,6 +128,8 @@ impl QueueSim {
         if trace.is_empty() {
             return None;
         }
+        // Cold: one span per simulated trace, not per event.
+        let _run = cn_obs::trace::global_span("cn_mcn_queue_run");
         // Min-heap of worker-free times (µs).
         let mut free: BinaryHeap<Reverse<u64>> = (0..self.workers).map(|_| Reverse(0u64)).collect();
         let mut latencies_ms: Vec<f64> = Vec::with_capacity(trace.len());
@@ -215,6 +217,8 @@ impl QueueSim {
     where
         I: IntoIterator<Item = crate::messages::MessageRecord>,
     {
+        // Cold: one span per simulated message stream.
+        let _run = cn_obs::trace::global_span("cn_mcn_queue_run_messages");
         let mut free: BinaryHeap<Reverse<u64>> = (0..self.workers).map(|_| Reverse(0u64)).collect();
         let mut latencies_ms: Vec<f64> = Vec::new();
         let mut busy_us: f64 = 0.0;
@@ -372,9 +376,17 @@ mod tests {
         );
         let latency = snap.histogram("cn_mcn_queue_latency_us").unwrap();
         assert_eq!(latency.count, report.served);
-        // The log2 bound brackets the exact max from the report.
+        // The log2 bound brackets the exact max from the report, and the
+        // interpolated estimate is at least bucket-accurate against the
+        // report's exact p99 (within one power-of-two bucket either way).
         let bound_us = latency.quantile_upper_bound(1.0).unwrap();
         assert!(bound_us as f64 / 1_000.0 >= report.max_latency_ms);
+        let p99_est_ms = latency.quantile_est(0.99).unwrap() / 1_000.0;
+        assert!(
+            p99_est_ms >= report.p99_latency_ms / 2.0 && p99_est_ms <= report.p99_latency_ms * 2.0,
+            "estimated p99 {p99_est_ms} ms vs exact {} ms",
+            report.p99_latency_ms
+        );
         // Depth histogram observed the same arrivals, peaking at the
         // report's backlog.
         let depth = snap.histogram("cn_mcn_queue_depth").unwrap();

@@ -213,6 +213,173 @@ impl ObsSnapshot {
     }
 }
 
+/// One sample line parsed back from Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name as written (families expand to `_bucket`/`_sum`/
+    /// `_count` lines, so this is not always a registry metric name).
+    pub name: String,
+    /// Label pairs in written order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf` bucket counts and all integers parse as
+    /// their `f64` value).
+    pub value: f64,
+}
+
+/// A parsed scrape: the inverse of [`ObsSnapshot::prometheus`] down to
+/// individual samples, used by the HTTP endpoint tests and
+/// `live_check`'s mid-serve scrape gate to assert that what a real
+/// Prometheus would ingest matches the registry. The parser implements
+/// the text-format escaping rules (`\\`, `\"`, `\n` in label values),
+/// so a hostile label value survives the render → scrape round trip.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PromText {
+    /// Every sample line, in exposition order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromText {
+    /// Parse text exposition. Comment (`#`) and blank lines are
+    /// skipped; any malformed sample line is an error (a scrape gate
+    /// that silently dropped bad lines would pass vacuously).
+    pub fn parse(text: &str) -> Result<PromText, String> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples.push(parse_sample_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+        }
+        Ok(PromText { samples })
+    }
+
+    /// The sample `name{labels}`, if present (labels compared as sets).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| {
+                if s.name != name {
+                    return false;
+                }
+                let mut got = s.labels.clone();
+                got.sort();
+                got == want
+            })
+            .map(|s| s.value)
+    }
+
+    /// The unlabeled sample `name` as a `u64`, `None` if absent or not
+    /// a non-negative integer (counters and gauges are integral here).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let v = self.value(name, &[])?;
+        (v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64).then_some(v as u64)
+    }
+}
+
+/// Parse one `name{k="v",...} value` sample line.
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let mut chars = line.char_indices().peekable();
+    let name_end = chars
+        .find(|&(_, c)| c == '{' || c == ' ')
+        .map(|(i, _)| i)
+        .ok_or("no value on sample line")?;
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return Err("empty sample name".into());
+    }
+    let mut labels = Vec::new();
+    let rest = &line[name_end..];
+    let value_str = if let Some(body) = rest.strip_prefix('{') {
+        let close = parse_labels(body, &mut labels)?;
+        body[close..]
+            .strip_prefix('}')
+            .ok_or("unterminated label set")?
+            .trim_start_matches(' ')
+    } else {
+        rest.trim_start_matches(' ')
+    };
+    let value = match value_str {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        s => s
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {s:?}"))?,
+    };
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parse `k="v",...` into `labels`, returning the byte offset of the
+/// closing `}` within `body`. Label values unescape `\\` → `\`,
+/// `\"` → `"`, `\n` → newline.
+fn parse_labels(body: &str, labels: &mut Vec<(String, String)>) -> Result<usize, String> {
+    let bytes = body.as_bytes();
+    let mut i = 0usize;
+    loop {
+        if i >= bytes.len() {
+            return Err("unterminated label set".into());
+        }
+        if bytes[i] == b'}' {
+            return Ok(i);
+        }
+        if bytes[i] == b',' {
+            i += 1;
+            continue;
+        }
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        let key = &body[key_start..i];
+        if key.is_empty() || i >= bytes.len() {
+            return Err("malformed label key".into());
+        }
+        i += 1; // '='
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err("label value must be quoted".into());
+        }
+        i += 1; // opening quote
+        let mut value = String::new();
+        loop {
+            match body[i..].chars().next() {
+                None => return Err("unterminated label value".into()),
+                Some('"') => {
+                    i += 1;
+                    break;
+                }
+                Some('\\') => {
+                    let esc = body[i + 1..]
+                        .chars()
+                        .next()
+                        .ok_or("dangling escape in label value")?;
+                    value.push(match esc {
+                        '\\' => '\\',
+                        '"' => '"',
+                        'n' => '\n',
+                        other => return Err(format!("unknown escape \\{other}")),
+                    });
+                    i += 1 + esc.len_utf8();
+                }
+                Some(c) => {
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_string(), value));
+    }
+}
+
 /// `{base,extra...}` label rendering with Prometheus escaping; empty
 /// label sets render as nothing.
 fn render_labels(base: &[(String, String)], extra: &[(&str, &str)]) -> String {
@@ -299,6 +466,59 @@ mod tests {
             .inc();
         let text = r.snapshot().prometheus();
         assert!(text.contains(r#"path="a\"b\\c\nd""#), "{text}");
+    }
+
+    #[test]
+    fn hostile_label_values_survive_the_render_scrape_round_trip() {
+        // Backslash, quote, newline, and the literal two-character
+        // sequence `\n` — the classic exposition-format traps.
+        let hostile = "a\"b\\c\nd\\ne";
+        let r = Registry::new();
+        r.counter_with("cn_test_hostile_total", &[("path", hostile)])
+            .add(7);
+        r.counter("cn_test_plain_total").add(3);
+        let text = r.snapshot().prometheus();
+        // The rendered line must stay one line (the newline is escaped).
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("cn_test_hostile_total{")),
+            "{text}"
+        );
+        let parsed = crate::PromText::parse(&text).expect("scrape parses");
+        assert_eq!(
+            parsed.value("cn_test_hostile_total", &[("path", hostile)]),
+            Some(7.0),
+            "raw hostile value must be recoverable from the scrape"
+        );
+        assert_eq!(parsed.counter("cn_test_plain_total"), Some(3));
+    }
+
+    #[test]
+    fn prom_parser_reads_full_expositions_and_rejects_garbage() {
+        let text = sample().prometheus();
+        let parsed = crate::PromText::parse(&text).expect("parse own exposition");
+        assert_eq!(
+            parsed.value("cn_gen_shard_events_total", &[("shard", "1")]),
+            Some(32.0)
+        );
+        assert_eq!(parsed.counter("cn_gen_shard_workers"), Some(2));
+        assert_eq!(parsed.counter("cn_gen_merge_run_len_count"), Some(5));
+        assert_eq!(
+            parsed.value("cn_gen_merge_run_len_bucket", &[("le", "+Inf")]),
+            Some(5.0)
+        );
+        // Histogram sample lines expand per family: every sample parsed.
+        assert!(parsed.samples.len() > sample().metrics.len());
+        for bad in [
+            "cn_x{le=\"1\" 3",       // unterminated label set
+            "cn_x{le=1} 3",          // unquoted value
+            "cn_x{le=\"\\q\"} 3",    // unknown escape
+            "cn_x{le=\"1\"} pickle", // non-numeric value
+            "{le=\"1\"} 3",          // empty name
+            "cn_x",                  // no value
+        ] {
+            assert!(crate::PromText::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

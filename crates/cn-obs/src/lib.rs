@@ -50,13 +50,22 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod http;
 pub mod metric;
+pub mod recorder;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
-pub use export::{MetricSnapshot, MetricValue, ObsSnapshot};
+pub use export::{MetricSnapshot, MetricValue, ObsSnapshot, PromSample, PromText};
+pub use http::{ConsumerStatus, IntrospectionServer, QuantileSample, StatusReport};
 pub use metric::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
+pub use recorder::{
+    FlightRecorder, ForensicsDump, HistogramWindowSample, RateSample, RecorderConfig,
+    RecorderFrame, WindowStats,
+};
 pub use registry::Registry;
 pub use span::Span;
+pub use trace::{SpanId, TraceEvent, TraceSink, TraceSpan};

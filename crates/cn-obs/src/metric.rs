@@ -353,6 +353,60 @@ impl HistogramSnapshot {
         }
         Some(u64::MAX)
     }
+
+    /// Point estimate of the `q`-quantile (`0 ≤ q ≤ 1`), `None` when
+    /// empty.
+    ///
+    /// [`Self::quantile_upper_bound`] answers with the whole bucket's
+    /// ceiling, overstating by up to 2× for values near a bucket's
+    /// floor. This estimator interpolates *inside* the bucket on the
+    /// log scale (the scale the buckets are uniform on): the quantile's
+    /// fractional rank within bucket `i ≥ 1` maps geometrically across
+    /// `[2^(i-1), 2^i)`. The estimate always lies within the bucket
+    /// bounds that contain the true order statistic, so
+    /// `floor ≤ est ≤ quantile_upper_bound`.
+    pub fn quantile_est(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut before = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let cumulative = before.saturating_add(n);
+            if cumulative >= rank && n > 0 {
+                if i == 0 {
+                    return Some(0.0); // bucket 0 holds exactly the value 0
+                }
+                let lo = (1u64 << (i - 1)) as f64; // bucket floor, 2^(i-1)
+                let hi = bucket_upper_bound(i) as f64;
+                // Fractional position of the rank inside this bucket,
+                // mid-point convention so a single observation estimates
+                // the bucket's geometric middle rather than either edge.
+                let frac = ((rank - before) as f64 - 0.5) / n as f64;
+                return Some((lo * frac.exp2()).clamp(lo, hi));
+            }
+            before = cumulative;
+        }
+        Some(bucket_upper_bound(BUCKETS - 1) as f64)
+    }
+
+    /// The per-window delta `self − prev`: bucket-wise saturating
+    /// subtraction, for turning two cumulative snapshots into the
+    /// distribution of observations recorded *between* them. With
+    /// `prev` an earlier snapshot of the same histogram the result is
+    /// exact (cumulative buckets are monotone); saturation only engages
+    /// on mismatched inputs and degrades to zeros instead of wrapping.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::new();
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            let cur = self.buckets.get(i).copied().unwrap_or(0);
+            let old = prev.buckets.get(i).copied().unwrap_or(0);
+            *slot = cur.saturating_sub(old);
+        }
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = self.sum.saturating_sub(prev.sum);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -475,6 +529,81 @@ mod tests {
         let p100 = s.quantile_upper_bound(1.0).unwrap();
         assert!(p100 >= 1000, "max bound {p100}");
         assert!((s.mean().unwrap() - 185.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_est_pins_known_distributions() {
+        // Uniform over one bucket: 1024 values filling [512, 1024)
+        // (bucket 10). The estimator must spread estimates across the
+        // bucket instead of answering 1023 for every quantile.
+        let mut s = HistogramSnapshot::new();
+        for v in 512u64..1024 {
+            s.record(v);
+            s.record(v);
+        }
+        let p01 = s.quantile_est(0.01).unwrap();
+        let p50 = s.quantile_est(0.50).unwrap();
+        let p99 = s.quantile_est(0.99).unwrap();
+        assert!(p01 < p50 && p50 < p99, "{p01} {p50} {p99}");
+        assert!((512.0..600.0).contains(&p01), "p01 near the floor: {p01}");
+        // Geometric mid of [512, 1024) is 512·√2 ≈ 724.
+        assert!((650.0..800.0).contains(&p50), "p50 near geo-mid: {p50}");
+        assert!((950.0..=1023.0).contains(&p99), "p99 near the top: {p99}");
+        // The coarse bound answers 1023 for all three.
+        assert_eq!(s.quantile_upper_bound(0.5), Some(1023));
+
+        // Two-point distribution: 99 ones and one value of 1000 —
+        // p50 must sit on the low mode, p100 inside 1000's bucket.
+        let mut s = HistogramSnapshot::new();
+        for _ in 0..99 {
+            s.record(1);
+        }
+        s.record(1000);
+        assert_eq!(s.quantile_est(0.5), Some(1.0));
+        let p100 = s.quantile_est(1.0).unwrap();
+        assert!((512.0..=1023.0).contains(&p100), "p100 {p100}");
+
+        // All zeros → exactly 0; empty → None.
+        let mut z = HistogramSnapshot::new();
+        z.record(0);
+        assert_eq!(z.quantile_est(0.99), Some(0.0));
+        assert_eq!(HistogramSnapshot::new().quantile_est(0.5), None);
+
+        // The estimate never exceeds the coarse upper bound and never
+        // undershoots the containing bucket's floor.
+        let mut s = HistogramSnapshot::new();
+        for v in [1u64, 3, 7, 9, 100, 5000, 70_000] {
+            s.record(v);
+        }
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile_est(q).unwrap();
+            let ub = s.quantile_upper_bound(q).unwrap() as f64;
+            assert!(est <= ub, "q={q}: est {est} above bound {ub}");
+            assert!(est >= 0.0 && est.is_finite());
+        }
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window() {
+        let mut early = HistogramSnapshot::new();
+        for v in [1u64, 8, 8, 300] {
+            early.record(v);
+        }
+        let mut late = early.clone();
+        for v in [2u64, 8, 4000] {
+            late.record(v);
+        }
+        let window = late.delta_since(&early);
+        assert_eq!(window.count, 3);
+        assert_eq!(window.sum, 2 + 8 + 4000);
+        let mut expect = HistogramSnapshot::new();
+        for v in [2u64, 8, 4000] {
+            expect.record(v);
+        }
+        assert_eq!(window, expect, "delta must be the in-between records");
+        // Self-delta is empty; mismatched inputs saturate to zero.
+        assert!(late.delta_since(&late).is_empty());
+        assert!(early.delta_since(&late).is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::metric::Histogram;
 use crate::registry::Registry;
+use crate::trace::{TraceSink, TraceSpan};
 use std::time::Instant;
 
 /// A running stage timer; see the module docs.
@@ -25,6 +26,7 @@ use std::time::Instant;
 pub struct Span {
     hist: Histogram,
     start: Option<Instant>,
+    trace: Option<TraceSpan>,
 }
 
 impl Span {
@@ -35,12 +37,35 @@ impl Span {
             Span {
                 hist: registry.histogram(name),
                 start: Some(Instant::now()),
+                trace: None,
             }
         } else {
             Span {
                 hist: Histogram::noop(),
                 start: None,
+                trace: None,
             }
+        }
+    }
+
+    /// The traced form: in addition to the histogram, open a
+    /// [`TraceSpan`] on `sink`, parented to whatever span is currently
+    /// open on this thread — nested `start_traced` calls *are* the
+    /// child form, producing the span tree [`TraceSink::to_chrome_json`]
+    /// exports. Either side may be disabled independently: a disabled
+    /// registry still traces, a disabled sink still feeds the
+    /// histogram, both disabled reads no clock at all.
+    pub fn start_traced(registry: &Registry, name: &str, sink: &TraceSink) -> Span {
+        let trace = sink.is_enabled().then(|| sink.span(name));
+        let timed = registry.is_enabled() || trace.is_some();
+        Span {
+            hist: if registry.is_enabled() {
+                registry.histogram(name)
+            } else {
+                Histogram::noop()
+            },
+            start: timed.then(Instant::now),
+            trace,
         }
     }
 
@@ -57,6 +82,7 @@ impl Span {
     }
 
     fn record_once(&mut self) -> u64 {
+        drop(self.trace.take()); // closes the trace event, if any
         match self.start.take() {
             None => 0,
             Some(t0) => {
@@ -75,10 +101,17 @@ impl Drop for Span {
 }
 
 /// Start a [`Span`] recording into histogram `$name` of `$registry`.
+///
+/// The three-argument form also opens a trace span on `$sink`
+/// (a [`TraceSink`]), parented to the span currently open on this
+/// thread — nesting these *is* the child form of the span tree.
 #[macro_export]
 macro_rules! span {
     ($registry:expr, $name:expr) => {
         $crate::Span::start(&$registry, $name)
+    };
+    ($registry:expr, $name:expr, $sink:expr) => {
+        $crate::Span::start_traced(&$registry, $name, &$sink)
     };
 }
 
@@ -116,6 +149,47 @@ mod tests {
         assert_eq!(span.elapsed_ns(), 0);
         assert_eq!(span.finish(), 0);
         assert!(registry.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn traced_spans_feed_both_the_histogram_and_the_tree() {
+        let registry = Registry::new();
+        let sink = TraceSink::new();
+        {
+            let _outer = crate::span!(registry, "cn_test_outer_ns", sink);
+            let _inner = crate::span!(registry, "cn_test_inner_ns", sink);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("cn_test_outer_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("cn_test_inner_ns").unwrap().count, 1);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        // Inner closes first and is parented to outer: the child form.
+        assert_eq!(events[0].name, "cn_test_inner_ns");
+        assert_eq!(events[0].parent, Some(events[1].id));
+
+        // Disabled sink: histogram still records, no trace events.
+        let quiet = TraceSink::disabled();
+        {
+            let _span = crate::span!(registry, "cn_test_outer_ns", quiet);
+        }
+        assert!(quiet.is_empty());
+        assert_eq!(
+            registry
+                .snapshot()
+                .histogram("cn_test_outer_ns")
+                .unwrap()
+                .count,
+            2
+        );
+
+        // Disabled registry: trace still records.
+        let off = Registry::disabled();
+        {
+            let _span = crate::span!(off, "cn_test_ghost_ns", sink);
+        }
+        assert_eq!(sink.len(), 3);
+        assert!(off.snapshot().metrics.is_empty());
     }
 
     #[test]

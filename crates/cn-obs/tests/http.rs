@@ -1,0 +1,163 @@
+//! Tier-1 coverage of the introspection endpoint: raw `TcpStream` GETs
+//! against a live listener — the same wire path a real Prometheus
+//! scraper or a curl-wielding operator uses, no test-only shortcuts.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use cn_obs::recorder::{FlightRecorder, RecorderConfig};
+use cn_obs::{IntrospectionServer, PromText, Registry, StatusReport};
+
+/// Issue one raw HTTP request and return (status line, body).
+fn http_get(addr: SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to introspection listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let head_end = response.find("\r\n\r\n").expect("header terminator");
+    let status = response.lines().next().expect("status line").to_string();
+    let headers = &response[..head_end];
+    let body = response[head_end + 4..].to_string();
+    // The whole point of Content-Length + Connection: close is that the
+    // body is exactly delimited — hold the server to it.
+    let content_length: usize = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric Content-Length");
+    assert_eq!(body.len(), content_length, "body length vs declared");
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    http_get(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+}
+
+#[test]
+fn endpoint_serves_metrics_status_and_404() {
+    let registry = Registry::new();
+    registry.counter("cn_test_emitted_total").add(42);
+    registry
+        .counter_with("cn_test_consumer_drops_total", &[("consumer", "0")])
+        .add(3);
+    let hist = registry.histogram("cn_test_lag_ms");
+    for v in [1u64, 2, 900] {
+        hist.record(v);
+    }
+    let recorder = FlightRecorder::start(
+        &registry,
+        RecorderConfig {
+            interval: Duration::from_secs(3600), // driven by hand
+            ring_frames: 16,
+            jsonl_path: None,
+            ..RecorderConfig::default()
+        },
+    )
+    .expect("start recorder");
+    recorder.sample_now();
+    let server = IntrospectionServer::bind("127.0.0.1:0", &registry, Some(recorder.clone()))
+        .expect("bind introspection listener");
+    let addr = server.local_addr();
+
+    // /metrics: parses as Prometheus text and recovers the registry's
+    // counters exactly.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let scrape = PromText::parse(&body).expect("scrape parses");
+    assert_eq!(scrape.counter("cn_test_emitted_total"), Some(42));
+    assert_eq!(
+        scrape.value("cn_test_consumer_drops_total", &[("consumer", "0")]),
+        Some(3.0)
+    );
+    assert_eq!(scrape.counter("cn_test_lag_ms_count"), Some(3));
+    // Cross-check the scrape against a direct snapshot: every counter
+    // the registry holds must appear with the same value on the wire.
+    let snapshot = registry.snapshot();
+    for m in &snapshot.metrics {
+        if let cn_obs::MetricValue::Counter { value } = m.value {
+            let labels: Vec<(&str, &str)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            assert_eq!(
+                scrape.value(&m.name, &labels),
+                Some(value as f64),
+                "scrape lost {}",
+                m.name
+            );
+        }
+    }
+
+    // /status: JSON that parses back into StatusReport, windowed by the
+    // attached recorder, with the consumer grouped out.
+    let (status, body) = get(addr, "/status");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let report: StatusReport = serde_json::from_str(&body).expect("status parses");
+    assert!(report.uptime_s >= 0.0);
+    assert!(report.window_ms.is_some(), "recorder-backed window");
+    assert_eq!(report.consumers.len(), 1);
+    assert_eq!(report.consumers[0].consumer, "0");
+    assert!(report
+        .quantiles
+        .iter()
+        .any(|q| q.name == "cn_test_lag_ms" && q.p50 <= q.p99));
+
+    // /recorder: the ring as JSON.
+    let (status, body) = get(addr, "/recorder");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let frames: Vec<cn_obs::RecorderFrame> = serde_json::from_str(&body).expect("frames parse");
+    assert_eq!(frames.len(), 1);
+    assert_eq!(
+        frames[0].snapshot.counter("cn_test_emitted_total"),
+        Some(42)
+    );
+
+    // Unknown path → 404; non-GET → 405; garbage → 400. The listener
+    // survives all three and keeps serving.
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = http_get(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    let (status, _) = http_get(addr, "definitely not http\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let (status, _) = get(addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK", "listener survives bad requests");
+
+    recorder.stop();
+    server.stop();
+}
+
+#[test]
+fn scrape_sees_live_updates() {
+    let registry = Registry::new();
+    let counter = registry.counter("cn_test_live_total");
+    let server = IntrospectionServer::bind("127.0.0.1:0", &registry, None).expect("bind listener");
+    let addr = server.local_addr();
+    counter.add(1);
+    let (_, body) = get(addr, "/metrics");
+    let first = PromText::parse(&body)
+        .unwrap()
+        .counter("cn_test_live_total");
+    assert_eq!(first, Some(1));
+    counter.add(9);
+    let (_, body) = get(addr, "/metrics");
+    let second = PromText::parse(&body)
+        .unwrap()
+        .counter("cn_test_live_total");
+    assert_eq!(second, Some(10), "each scrape is a fresh snapshot");
+    // Without a recorder, /status degrades to cumulative view.
+    let (_, body) = get(addr, "/status");
+    let report: StatusReport = serde_json::from_str(&body).unwrap();
+    assert_eq!(report.window_ms, None);
+    assert!(report
+        .rates
+        .iter()
+        .any(|r| r.name == "cn_test_live_total" && r.per_s >= 0.0));
+    server.stop();
+}

@@ -189,6 +189,8 @@ impl<'m, S: RecordSource> ScenarioStream<'m, S> {
         // Fill the injection queue from the next phase in window order.
         while self.queue.is_empty() && self.next_phase < self.order.len() {
             let p = &self.order[self.next_phase];
+            // Cold: once per phase, not per record.
+            let _inject = cn_obs::trace::global_span("cn_scenario_inject");
             self.queue = materialize_phase(
                 &self.spec.phases[p.index],
                 p.index,
