@@ -160,6 +160,98 @@ impl CapturedStream {
     }
 }
 
+/// A live connection as a [`cn_scenario::RecordSource`]: the adapter
+/// that closes the loop, letting anything built on sorted record streams
+/// (the MCN discrete-event simulator, scenario overlays, exporters)
+/// consume a paced TCP feed exactly as it would a batch stream.
+///
+/// The containment contract carries through the adapter:
+///
+/// * record frames flow out of `try_next` in arrival order;
+/// * a **Gap** marker becomes a typed
+///   [`StreamError::ConsumerLagged`] at the gap's exact position —
+///   downstream never sees a silently shorter stream;
+/// * an **End** marker (clean source exhaustion) or a clean connection
+///   close yields `None`; the End watermark is kept for
+///   [`LiveRecordSource::end_watermark`];
+/// * wire-level faults (torn tail, corrupt frame) surface as
+///   [`StreamError::Io`] with stage `live-read`.
+pub struct LiveRecordSource<R> {
+    reader: LiveReader<R>,
+    consumer: usize,
+    end: Option<u64>,
+    dropped: u64,
+    done: bool,
+}
+
+impl<R: Read> LiveRecordSource<R> {
+    /// Validate the stream header and wrap the connection. `consumer` is
+    /// this consumer's id in any `ConsumerLagged` verdict (the live
+    /// server's accept order, or 0 for a single-connection client).
+    pub fn new(src: R, consumer: usize) -> Result<LiveRecordSource<R>, IoError> {
+        Ok(LiveRecordSource {
+            reader: LiveReader::new(src)?,
+            consumer,
+            end: None,
+            dropped: 0,
+            done: false,
+        })
+    }
+
+    /// The server's emitted-records watermark, if an End marker arrived.
+    /// `None` after exhaustion means the server stopped mid-stream
+    /// (resume from its checkpoint).
+    pub fn end_watermark(&self) -> Option<u64> {
+        self.end
+    }
+
+    /// Total record frames this connection lost to queue overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl<R: Read> cn_scenario::RecordSource for LiveRecordSource<R> {
+    fn try_next(&mut self) -> Result<Option<TraceRecord>, StreamError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.reader.next_frame() {
+            Ok(Some(Frame::Record(r))) => Ok(Some(r)),
+            Ok(Some(Frame::Gap { dropped })) => {
+                self.dropped += dropped;
+                Err(StreamError::ConsumerLagged {
+                    consumer: self.consumer,
+                    dropped,
+                })
+            }
+            Ok(Some(Frame::End { emitted })) => {
+                self.end = Some(emitted);
+                self.done = true;
+                Ok(None)
+            }
+            Ok(None) => {
+                self.done = true;
+                Ok(None)
+            }
+            Err(e) => Err(StreamError::Io {
+                stage: "live-read",
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    fn finish(self) -> Result<(), StreamError> {
+        match self.dropped {
+            0 => Ok(()),
+            dropped => Err(StreamError::ConsumerLagged {
+                consumer: self.consumer,
+                dropped,
+            }),
+        }
+    }
+}
+
 /// Drain a live connection to its close and collect what arrived.
 pub fn capture<R: Read>(src: R) -> Result<CapturedStream, IoError> {
     let mut reader = LiveReader::new(src)?;
@@ -250,5 +342,77 @@ mod tests {
     fn bad_magic_is_rejected() {
         let wire = [0u8; 16];
         assert!(LiveReader::new(&wire[..]).is_err());
+    }
+
+    #[test]
+    fn record_source_adapter_keeps_the_containment_contract() {
+        use cn_scenario::RecordSource;
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend_from_slice(BINARY_MAGIC);
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        for frame in [
+            Frame::Record(rec(1, 0)),
+            Frame::Gap { dropped: 3 },
+            Frame::Record(rec(2, 1)),
+            Frame::End { emitted: 6 },
+        ] {
+            wire.extend_from_slice(&encode_frame(&frame));
+        }
+        let mut source = LiveRecordSource::new(&wire[..], 4).unwrap();
+        assert_eq!(source.try_next().unwrap(), Some(rec(1, 0)));
+        // The gap surfaces as a typed error at its exact position...
+        assert_eq!(
+            source.try_next(),
+            Err(StreamError::ConsumerLagged {
+                consumer: 4,
+                dropped: 3
+            })
+        );
+        // ...and the stream continues honestly after it.
+        assert_eq!(source.try_next().unwrap(), Some(rec(2, 1)));
+        assert_eq!(source.try_next().unwrap(), None);
+        assert_eq!(source.end_watermark(), Some(6));
+        // Exhausted stays exhausted.
+        assert_eq!(source.try_next().unwrap(), None);
+        // The terminal verdict remembers the loss.
+        assert_eq!(
+            source.finish(),
+            Err(StreamError::ConsumerLagged {
+                consumer: 4,
+                dropped: 3
+            })
+        );
+    }
+
+    #[test]
+    fn clean_record_source_finishes_ok() {
+        use cn_scenario::RecordSource;
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend_from_slice(BINARY_MAGIC);
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        for frame in [Frame::Record(rec(1, 0)), Frame::End { emitted: 1 }] {
+            wire.extend_from_slice(&encode_frame(&frame));
+        }
+        let mut source = LiveRecordSource::new(&wire[..], 0).unwrap();
+        assert_eq!(source.try_next().unwrap(), Some(rec(1, 0)));
+        assert_eq!(source.try_next().unwrap(), None);
+        assert!(source.finish().is_ok());
+    }
+
+    #[test]
+    fn torn_tail_surfaces_as_typed_io_error() {
+        use cn_scenario::RecordSource;
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend_from_slice(BINARY_MAGIC);
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        wire.extend_from_slice(&encode_frame(&Frame::Record(rec(1, 0)))[..7]);
+        let mut source = LiveRecordSource::new(&wire[..], 0).unwrap();
+        assert!(matches!(
+            source.try_next(),
+            Err(StreamError::Io {
+                stage: "live-read",
+                ..
+            })
+        ));
     }
 }

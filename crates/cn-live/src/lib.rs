@@ -43,7 +43,8 @@ pub mod server;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use frame::{
-    capture, decode_frame, encode_frame, CapturedStream, Frame, LiveReader, FRAME_BYTES,
+    capture, decode_frame, encode_frame, CapturedStream, Frame, LiveReader, LiveRecordSource,
+    FRAME_BYTES,
 };
 pub use hub::{ConsumerHandle, ConsumerReport, Hub};
 pub use pace::Pacer;

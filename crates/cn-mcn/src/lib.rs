@@ -20,7 +20,13 @@
 //!   for message-granularity MCN simulation;
 //! * [`overload`] implements NAS-style congestion control (token-bucket
 //!   admission with per-procedure priorities) so shedding policies can be
-//!   evaluated against realistic signaling storms.
+//!   evaluated against realistic signaling storms;
+//! * [`des`] ties all of the above together into a multi-NF discrete-event
+//!   simulator: per-NF server pools with service-time *distributions* from
+//!   the `cn-stats` zoo, dependency-ordered transaction chains derived from
+//!   the [`nf::TransactionMatrix`], queue-depth-driven autoscaling, and the
+//!   admission controller running inside the event loop — the closed-loop
+//!   capacity model `mcn_check` pins in `BENCH_mcn.json`.
 //!
 //! The simulators expose live telemetry through `cn-obs`:
 //! [`QueueSim::observed`] records depth/latency histograms,
@@ -31,14 +37,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod des;
 pub mod messages;
 pub mod mme;
 pub mod nf;
 pub mod overload;
 pub mod queueing;
 
+pub use des::{
+    dependency_chain, deterministic_service, AutoscalePolicy, DesConfig, DesError, DesReport,
+    DesSim, NfConfig, NfDesReport,
+};
 pub use messages::{expand, interface_load, procedure, Interface, Message, MessageRecord};
 pub use mme::{Mme, MmeReport};
 pub use nf::{nf_load, nf_load_observed, NetworkFunction, NfLoad, TransactionMatrix};
 pub use overload::{apply_observed, AdmissionPolicy, Priority, ShedReport};
-pub use queueing::{MessageServiceProfile, QueueReport, QueueSim, ServiceProfile};
+pub use queueing::{MessageServiceProfile, ProfileError, QueueReport, QueueSim, ServiceProfile};

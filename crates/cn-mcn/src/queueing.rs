@@ -13,6 +13,79 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// A service profile carrying a hostile value.
+///
+/// Profiles arrive from configuration files ([`serde`]), and a NaN or
+/// negative entry would otherwise be silently saturated to 0 µs by the
+/// `as u64` rounding in the simulator — a zero-cost event class is a
+/// quiet way to ruin a capacity study. Mirrors the typed-rejection
+/// stance of `cn_scenario::SpecError`: validate up front, never clamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// An entry is NaN or infinite.
+    NonFinite {
+        /// Which profile table the entry lives in.
+        table: &'static str,
+        /// Index into the profile's `service_us` array.
+        index: usize,
+        /// The offending value, stringified (NaN/inf survive formatting).
+        value: String,
+    },
+    /// An entry is negative.
+    Negative {
+        /// Which profile table the entry lives in.
+        table: &'static str,
+        /// Index into the profile's `service_us` array.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::NonFinite {
+                table,
+                index,
+                value,
+            } => {
+                write!(f, "{table}.service_us[{index}] is not finite: {value}")
+            }
+            ProfileError::Negative {
+                table,
+                index,
+                value,
+            } => {
+                write!(f, "{table}.service_us[{index}] is negative: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Shared validation for the fixed-size service tables.
+fn validate_service_us(table: &'static str, service_us: &[f64]) -> Result<(), ProfileError> {
+    for (index, &value) in service_us.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(ProfileError::NonFinite {
+                table,
+                index,
+                value: format!("{value}"),
+            });
+        }
+        if value < 0.0 {
+            return Err(ProfileError::Negative {
+                table,
+                index,
+                value,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Per-event-type service times, in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServiceProfile {
@@ -40,6 +113,13 @@ impl ServiceProfile {
     /// Service time of one event, µs.
     pub fn of(&self, event: EventType) -> f64 {
         self.service_us[event.code() as usize]
+    }
+
+    /// Reject NaN, infinite, or negative service times with a typed
+    /// error. Call this on any profile that crossed a serialization
+    /// boundary before handing it to a simulator.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        validate_service_us("ServiceProfile", &self.service_us)
     }
 }
 
@@ -130,10 +210,15 @@ impl QueueSim {
         }
         // Cold: one span per simulated trace, not per event.
         let _run = cn_obs::trace::global_span("cn_mcn_queue_run");
+        debug_assert!(self.profile.validate().is_ok(), "unvalidated profile");
         // Min-heap of worker-free times (µs).
         let mut free: BinaryHeap<Reverse<u64>> = (0..self.workers).map(|_| Reverse(0u64)).collect();
         let mut latencies_ms: Vec<f64> = Vec::with_capacity(trace.len());
-        let mut busy_us: f64 = 0.0;
+        // Accumulate the *rounded* service times the schedule actually
+        // uses: accumulating the raw f64 while completions round would
+        // let reported utilization disagree with the schedule and
+        // exceed 1.0 under saturation.
+        let mut busy_us: u64 = 0;
         let mut peak_backlog = 0usize;
         // Completion times of in-flight/queued events, to measure backlog.
         let mut completions: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
@@ -153,11 +238,11 @@ impl QueueSim {
 
             let Reverse(worker_free) = free.pop().expect("workers > 0");
             let start_us = worker_free.max(arrival_us);
-            let service = self.profile.of(rec.event);
-            let done_us = start_us + service.round() as u64;
+            let service_us = self.profile.of(rec.event).round() as u64;
+            let done_us = start_us + service_us;
             free.push(Reverse(done_us));
             completions.push(Reverse(done_us));
-            busy_us += service;
+            busy_us += service_us;
             self.obs.latency_us.record(done_us - arrival_us);
             latencies_ms.push((done_us - arrival_us) as f64 / 1_000.0);
         }
@@ -178,10 +263,23 @@ impl QueueSim {
             p50_latency_ms: percentile_sorted(&sorted, 0.50),
             p99_latency_ms: percentile_sorted(&sorted, 0.99),
             max_latency_ms: *sorted.last().expect("non-empty"),
-            utilization: busy_us / (horizon_us as f64 * self.workers as f64),
+            utilization: utilization(busy_us, horizon_us, self.workers),
             peak_backlog,
         })
     }
+}
+
+/// Busy fraction of `workers` servers over `horizon_us`, from the rounded
+/// busy time the schedule actually used. The schedule packs each worker's
+/// service into the horizon, so the ratio cannot exceed 1.0; assert that
+/// invariant and clamp away float noise.
+fn utilization(busy_us: u64, horizon_us: u64, workers: usize) -> f64 {
+    let ratio = busy_us as f64 / (horizon_us as f64 * workers as f64);
+    debug_assert!(
+        ratio <= 1.0 + 1e-9,
+        "utilization {ratio} > 1.0 (busy {busy_us} µs over {workers} × {horizon_us} µs)"
+    );
+    ratio.min(1.0)
 }
 
 /// Per-interface service times for message-level simulation, µs.
@@ -202,6 +300,12 @@ impl MessageServiceProfile {
             service_us: [80.0, 400.0, 120.0, 120.0, 350.0],
         }
     }
+
+    /// Reject NaN, infinite, or negative service times with a typed
+    /// error (see [`ServiceProfile::validate`]).
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        validate_service_us("MessageServiceProfile", &self.service_us)
+    }
 }
 
 impl QueueSim {
@@ -209,6 +313,14 @@ impl QueueSim {
     /// message of the expanded trace is served individually with
     /// per-interface service times (compare with [`QueueSim::run`], which
     /// treats a whole procedure as one unit of work).
+    ///
+    /// The input is sort-merged by arrival time before simulation:
+    /// [`crate::messages::expand`] serializes each procedure's flow
+    /// sequentially, so the expansions of *overlapping* procedures
+    /// interleave out of time order — a FIFO simulated in stream order
+    /// would take `t0` from whatever message happened to come first and
+    /// mis-measure backlog and waits. Messages at equal timestamps keep
+    /// their stream order (stable sort).
     pub fn run_messages<I>(
         &self,
         messages: I,
@@ -219,14 +331,26 @@ impl QueueSim {
     {
         // Cold: one span per simulated message stream.
         let _run = cn_obs::trace::global_span("cn_mcn_queue_run_messages");
+        debug_assert!(profile.validate().is_ok(), "unvalidated profile");
+        let mut arrivals: Vec<crate::messages::MessageRecord> = messages.into_iter().collect();
+        // Canonical total order: ties at the same microsecond are served
+        // in (ue, interface, name) order, so the report is a function of
+        // the message *multiset*, not of producer interleaving.
+        arrivals.sort_by_key(|rec| {
+            let iface = crate::messages::Interface::ALL
+                .iter()
+                .position(|&i| i == rec.message.interface)
+                .expect("known interface");
+            (rec.t, rec.ue, iface, rec.message.name)
+        });
         let mut free: BinaryHeap<Reverse<u64>> = (0..self.workers).map(|_| Reverse(0u64)).collect();
         let mut latencies_ms: Vec<f64> = Vec::new();
-        let mut busy_us: f64 = 0.0;
+        let mut busy_us: u64 = 0;
         let mut peak_backlog = 0usize;
         let mut completions: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
         let mut t0_us: Option<u64> = None;
 
-        for rec in messages {
+        for rec in arrivals {
             let arrival_us = rec.t.as_millis() * 1_000;
             t0_us.get_or_insert(arrival_us);
             while completions
@@ -244,11 +368,11 @@ impl QueueSim {
                 .iter()
                 .position(|&i| i == rec.message.interface)
                 .expect("known interface");
-            let service = profile.service_us[iface_idx];
-            let done_us = start_us + service.round() as u64;
+            let service_us = profile.service_us[iface_idx].round() as u64;
+            let done_us = start_us + service_us;
             free.push(Reverse(done_us));
             completions.push(Reverse(done_us));
-            busy_us += service;
+            busy_us += service_us;
             self.obs.msg_latency_us.record(done_us - arrival_us);
             self.obs.msg_served.inc();
             latencies_ms.push((done_us - arrival_us) as f64 / 1_000.0);
@@ -272,7 +396,7 @@ impl QueueSim {
             p50_latency_ms: percentile_sorted(&sorted, 0.50),
             p99_latency_ms: percentile_sorted(&sorted, 0.99),
             max_latency_ms: *sorted.last().expect("non-empty"),
-            utilization: busy_us / (horizon_us as f64 * self.workers as f64),
+            utilization: utilization(busy_us, horizon_us, self.workers),
             peak_backlog,
         })
     }
@@ -432,5 +556,132 @@ mod tests {
     fn heavier_events_cost_more() {
         let profile = ServiceProfile::default_mme();
         assert!(profile.of(EventType::Attach) > profile.of(EventType::Tau));
+    }
+
+    /// Regression (busy-time accounting): with a fractional service time
+    /// the old code accumulated the unrounded f64 while the schedule used
+    /// `service.round()`, reporting utilization 1.04 here. The saturated
+    /// single-worker schedule has zero idle time, so utilization must be
+    /// exactly 1.0 — and never above it.
+    #[test]
+    fn saturated_utilization_is_exactly_one() {
+        let trace = Trace::from_records((0..100).map(|_| rec(0, EventType::Tau)).collect());
+        let report = QueueSim::new(ServiceProfile::uniform(10.4), 1)
+            .run(&trace)
+            .unwrap();
+        assert!(
+            report.utilization <= 1.0,
+            "utilization {} exceeds 1.0",
+            report.utilization
+        );
+        assert!(
+            (report.utilization - 1.0).abs() < 1e-12,
+            "zero-idle schedule must report full utilization, got {}",
+            report.utilization
+        );
+    }
+
+    /// Regression (profile validation): NaN / infinite / negative entries
+    /// must be rejected with a typed error instead of silently becoming
+    /// 0 µs through `as u64` saturation.
+    #[test]
+    fn hostile_profiles_are_rejected_with_typed_errors() {
+        let mut p = ServiceProfile::default_mme();
+        assert!(p.validate().is_ok());
+        p.service_us[2] = f64::NAN;
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::NonFinite { index: 2, .. })
+        ));
+        p.service_us[2] = f64::INFINITY;
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::NonFinite { index: 2, .. })
+        ));
+        p.service_us[2] = -250.0;
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::Negative { index: 2, .. })
+        ));
+
+        let mut m = MessageServiceProfile::default_epc();
+        assert!(m.validate().is_ok());
+        m.service_us[4] = -1.0;
+        let err = m.validate().unwrap_err();
+        assert!(matches!(err, ProfileError::Negative { index: 4, .. }));
+        assert!(err.to_string().contains("MessageServiceProfile"));
+
+        // The hostile values arrive through deserialization in practice.
+        let json = r#"{"service_us":[80.0,-400.0,120.0,120.0,350.0]}"#;
+        let parsed: MessageServiceProfile = serde_json::from_str(json).unwrap();
+        assert!(matches!(
+            parsed.validate(),
+            Err(ProfileError::Negative { index: 1, .. })
+        ));
+    }
+
+    /// Regression (sorted-arrival assumption): the old code took `t0`
+    /// from the *first* message of the stream and simulated in stream
+    /// order, so an out-of-order stream (here: the later message first)
+    /// reported a wrong origin, phantom waits, and utilization 1.0. The
+    /// sort-merge fix makes the report a function of the message multiset.
+    #[test]
+    fn out_of_order_messages_are_sort_merged() {
+        use crate::messages::{Interface, Message, MessageRecord};
+        use cn_trace::{Timestamp, UeId};
+        let msg = |t_ms: u64| MessageRecord {
+            t: Timestamp::from_millis(t_ms),
+            ue: UeId(0),
+            message: Message {
+                name: "Service Request",
+                interface: Interface::S1,
+            },
+        };
+        let sim = QueueSim::new(ServiceProfile::default_mme(), 1);
+        let profile = MessageServiceProfile {
+            service_us: [1_000.0; 5],
+        };
+        // Later message first: 5 ms, then 0 ms. Both are unloaded (1 ms
+        // service, 5 ms apart), so every latency is pure service time.
+        let report = sim.run_messages([msg(5), msg(0)], &profile).unwrap();
+        assert_eq!(report.served, 2);
+        assert!(
+            (report.mean_latency_ms - 1.0).abs() < 1e-9,
+            "out-of-order stream produced phantom waits: mean {} ms",
+            report.mean_latency_ms
+        );
+        // Horizon runs from the true t0=0 to the last completion at 6 ms:
+        // 2 ms busy over 6 ms.
+        assert!(
+            (report.utilization - 2.0 / 6.0).abs() < 1e-9,
+            "wrong t0 skewed utilization: {}",
+            report.utilization
+        );
+        assert_eq!(report.peak_backlog, 0);
+        // Same multiset, sorted: identical report.
+        let sorted = sim.run_messages([msg(0), msg(5)], &profile).unwrap();
+        assert_eq!(report, sorted);
+    }
+
+    /// Interleaved expansions of overlapping procedures (the shape
+    /// `messages::expand` actually emits for a dense trace) must produce
+    /// the same report as any other ordering of the same messages.
+    #[test]
+    fn overlapping_expansions_match_presorted_input() {
+        use crate::messages;
+        let trace = Trace::from_records(vec![
+            rec(0, EventType::Attach),
+            rec(1, EventType::Attach),
+            rec(2, EventType::ServiceRequest),
+        ]);
+        let sim = QueueSim::new(ServiceProfile::default_mme(), 2);
+        let profile = MessageServiceProfile::default_epc();
+        let stream: Vec<messages::MessageRecord> = messages::expand(&trace).collect();
+        let mut presorted = stream.clone();
+        presorted.sort_by_key(|r| r.t);
+        let a = sim.run_messages(stream, &profile).unwrap();
+        let b = sim.run_messages(presorted, &profile).unwrap();
+        assert_eq!(a, b);
+        assert!(a.utilization <= 1.0);
     }
 }

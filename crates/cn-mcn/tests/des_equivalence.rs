@@ -1,0 +1,98 @@
+//! M/D/c sanity: on a single-NF, one-transaction-per-event,
+//! deterministic-service configuration, the event-calendar DES *is* the
+//! analytic multi-worker FIFO of [`QueueSim`] — same trace, same
+//! latencies, same utilization. Any drift between the two models on this
+//! common subset is a bug in one of them.
+
+use cn_mcn::{
+    deterministic_service, DesConfig, DesSim, NetworkFunction, NfConfig, QueueSim, ServiceProfile,
+    TransactionMatrix,
+};
+use cn_obs::Registry;
+use cn_trace::{DeviceType, EventType, Timestamp, Trace, TraceRecord, UeId};
+use proptest::prelude::*;
+
+/// A DES world equivalent to `QueueSim::new(uniform(service_us), servers)`:
+/// one MME pool, every event one MME transaction, service deterministic.
+fn single_nf(servers: usize, service_us: f64) -> DesConfig {
+    DesConfig {
+        seed: 0,
+        nfs: vec![NfConfig {
+            nf: NetworkFunction::Mme,
+            servers,
+            service: deterministic_service(service_us),
+            autoscale: None,
+        }],
+        matrix: TransactionMatrix {
+            transactions: [[1, 0, 0, 0, 0]; 6],
+        },
+        admission: None,
+    }
+}
+
+fn event(idx: usize) -> EventType {
+    EventType::ALL[idx % EventType::ALL.len()]
+}
+
+proptest! {
+    /// Same trace through both models: percentiles agree to rounding and
+    /// utilization exactly (identical busy time over the same horizon).
+    #[test]
+    fn des_matches_analytic_queue_on_common_subset(
+        raw in prop::collection::vec((0u64..2_000, 0u32..16, 0usize..6), 1..120),
+        servers in 1usize..5,
+        service_us in 100.0f64..20_000.0,
+    ) {
+        let trace = Trace::from_records(
+            raw.iter()
+                .map(|&(t, ue, e)| {
+                    TraceRecord::new(
+                        Timestamp::from_millis(t),
+                        UeId(ue),
+                        DeviceType::Phone,
+                        event(e),
+                    )
+                })
+                .collect(),
+        );
+        let analytic = QueueSim::new(ServiceProfile::uniform(service_us), servers)
+            .run(&trace)
+            .expect("non-empty");
+        let des = DesSim::run_trace(single_nf(servers, service_us), &trace, &Registry::disabled())
+            .expect("valid config");
+
+        prop_assert_eq!(des.completed, analytic.served);
+        prop_assert!((des.mean_latency_ms - analytic.mean_latency_ms).abs() < 1e-9);
+        prop_assert!((des.p50_latency_ms - analytic.p50_latency_ms).abs() < 1e-9);
+        prop_assert!((des.p99_latency_ms - analytic.p99_latency_ms).abs() < 1e-9);
+        prop_assert!((des.max_latency_ms - analytic.max_latency_ms).abs() < 1e-9);
+        prop_assert_eq!(des.per_nf.len(), 1);
+        prop_assert!((des.per_nf[0].utilization - analytic.utilization).abs() < 1e-12);
+    }
+}
+
+/// Saturation corner pinned exactly: back-to-back arrivals on one server
+/// keep it busy 100% of the horizon in both models.
+#[test]
+fn saturated_single_server_agrees_at_utilization_one() {
+    let trace = Trace::from_records(
+        (0..50)
+            .map(|_| {
+                TraceRecord::new(
+                    Timestamp::from_millis(0),
+                    UeId(0),
+                    DeviceType::Phone,
+                    EventType::Tau,
+                )
+            })
+            .collect(),
+    );
+    let analytic = QueueSim::new(ServiceProfile::uniform(1_000.0), 1)
+        .run(&trace)
+        .expect("non-empty");
+    let des = DesSim::run_trace(single_nf(1, 1_000.0), &trace, &Registry::disabled())
+        .expect("valid config");
+    assert_eq!(analytic.utilization, 1.0);
+    assert_eq!(des.per_nf[0].utilization, 1.0);
+    assert_eq!(des.max_latency_ms, analytic.max_latency_ms);
+}

@@ -17,6 +17,10 @@
 //!   against the steady-state pin, engine-equivalence of perturbed
 //!   overlays, and pinned hashes for the canonical flash-crowd and
 //!   paging-storm scenarios;
+//! * [`mcn`] — the closed-loop core-simulator gate: the canonical storm
+//!   scenarios drive the multi-NF DES (batch and over the live wire),
+//!   and the capacity numbers (p99 latency, shed rate, scaling lag) are
+//!   pinned exactly in `BENCH_mcn.json`;
 //! * [`verdict`] — the claim/measured/pass report shape shared with
 //!   `cn-eval`'s paper-claims table.
 //!
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod golden;
+pub mod mcn;
 pub mod model;
 pub mod roundtrip;
 pub mod scenario;
@@ -34,6 +39,9 @@ pub mod verdict;
 
 pub use golden::{
     check_pinned, fnv1a64, run_golden, run_golden_observed, trace_hash, GoldenCase, GoldenReport,
+};
+pub use mcn::{
+    check_bench, check_bench_at, drive_des, mcn_des_config, McnBench, McnError, McnScenarioBench,
 };
 pub use model::GroundTruth;
 pub use roundtrip::{run_round_trip, RoundTripConfig, RoundTripReport, TransitionCheck};
